@@ -1,0 +1,59 @@
+//! Criterion bench: throughput of the discrete-event simulator and the
+//! analytic solver — these bound how fast the figure sweeps regenerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cr_core::params::{CompressionSpec, Strategy, SystemParams};
+use cr_sim::{simulate, SimOptions};
+
+fn bench_engine(c: &mut Criterion) {
+    let sys = SystemParams::exascale_default();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let cases: Vec<(&str, Strategy)> = vec![
+        (
+            "host_multilevel",
+            Strategy::local_io_host(20, 0.85, None),
+        ),
+        (
+            "ndp_compressed",
+            Strategy::local_io_ndp(0.85, Some(CompressionSpec::gzip1_ndp())),
+        ),
+        (
+            "io_only",
+            Strategy::IoOnly {
+                interval: None,
+                compression: None,
+            },
+        ),
+    ];
+    for (name, strat) in cases {
+        group.bench_function(format!("1000_failures/{name}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let opts = SimOptions {
+                    seed,
+                    min_failures: 1000,
+                    min_work: 0.0,
+                    max_wall: 1e12,
+                };
+                simulate(&sys, &strat, &opts).stats.failures
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let sys = SystemParams::exascale_default();
+    c.bench_function("analytic/solve_cycle_k20", |b| {
+        let strat = Strategy::local_io_host(20, 0.85, None);
+        b.iter(|| cr_core::analytic::solve_cycle(&sys, &strat).cycle_time);
+    });
+    c.bench_function("analytic/best_ratio_scan", |b| {
+        b.iter(|| cr_core::ratio_opt::best_host_ratio(&sys, 0.85, None));
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_analytic);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Figure 1: progress rate of a system with C/R as a
+//! function of `M/δ`.
+
+use cr_bench::experiments::fig1;
+use cr_bench::table::{emit, pct, TextTable};
+
+fn main() {
+    let curve = fig1(33);
+    let mut t = TextTable::new(vec!["M/delta", "progress rate"]);
+    for (ratio, p) in &curve {
+        t.row(vec![format!("{ratio:.1}"), pct(*p)]);
+    }
+    emit(
+        "Figure 1: progress rate vs M/delta (Daly optimum interval)",
+        &t,
+    );
+    let r90 = cr_core::daly::ratio_for_progress(0.90);
+    println!(
+        "90% progress requires M/delta ~ {r90:.0} (paper Sec. 3.3: \
+         commit time ~ 1/200 of MTTI)"
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates Figure 4: C/R overhead breakdown for `Local + I/O-Host`
+//! as the ratio of locally-saved to I/O-saved checkpoints increases.
+
+use cr_bench::experiments::fig4;
+use cr_bench::table::{emit, pct, TextTable};
+
+fn main() {
+    let sweep = fig4(0.85, None, 60);
+    let mut t = TextTable::new(vec![
+        "ratio",
+        "compute",
+        "ckpt L",
+        "ckpt IO",
+        "restore",
+        "rerun L",
+        "rerun IO",
+        "progress",
+    ]);
+    for (ratio, b) in &sweep {
+        let f = b.as_fractions();
+        t.row(vec![
+            format!("{ratio}"),
+            pct(f.compute),
+            pct(f.checkpoint_local),
+            pct(f.checkpoint_io),
+            pct(f.restore()),
+            pct(f.rerun_local),
+            pct(f.rerun_io),
+            pct(b.progress_rate()),
+        ]);
+    }
+    emit(
+        "Figure 4: overhead breakdown vs locally-saved:I/O-saved ratio \
+         (Local(85%) + I/O-Host, no compression)",
+        &t,
+    );
+    let (best_ratio, best) = sweep
+        .iter()
+        .map(|(r, b)| (*r, b.progress_rate()))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    println!("optimal ratio = {best_ratio} (progress {})", pct(best));
+}

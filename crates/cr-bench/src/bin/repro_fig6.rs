@@ -1,0 +1,42 @@
+//! Regenerates Figure 6: progress-rate comparison between `I/O Only`,
+//! `Local(x%) + I/O-Host` and `Local(x%) + I/O-NDP`, without
+//! compression and with each mini-app's gzip(1) compression factor.
+//!
+//! `REPRO_REPLICAS` / `REPRO_FAILURES` control simulation fidelity.
+
+use cr_bench::experiments::{fig6, headline_averages};
+use cr_bench::table::{emit, pct, TextTable};
+use cr_bench::ReproOpts;
+
+fn main() {
+    let opts = ReproOpts::from_env();
+    let data = fig6(&opts);
+
+    let mut headers = vec!["Configuration".to_string()];
+    headers.extend(data.columns.iter().cloned());
+    let mut t_sim = TextTable::new(headers.clone());
+    let mut t_ana = TextTable::new(headers);
+    for (label, row) in data.rows.iter().zip(&data.values) {
+        let mut sim_cells = vec![label.clone()];
+        let mut ana_cells = vec![label.clone()];
+        for cell in row {
+            sim_cells.push(pct(cell.sim));
+            ana_cells.push(pct(cell.analytic));
+        }
+        t_sim.row(sim_cells);
+        t_ana.row(ana_cells);
+    }
+    emit(
+        "Figure 6: progress rates, discrete-event simulation",
+        &t_sim,
+    );
+    emit("Figure 6: progress rates, analytic model", &t_ana);
+
+    let (host, ndp) = headline_averages(&opts);
+    println!(
+        "Headline (Sec. 6.3, avg over p_local 20/50/80/96%): multilevel \
+         + compression {} -> NDP + compression {} (paper: 51% -> 78%)",
+        pct(host),
+        pct(ndp)
+    );
+}

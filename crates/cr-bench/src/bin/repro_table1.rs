@@ -1,0 +1,51 @@
+//! Regenerates Table 1: the exascale system projection scaled from the
+//! Titan Cray XK7, plus the §3.3 derived C/R requirements.
+
+use cr_bench::experiments::table1;
+use cr_bench::table::{emit, TextTable};
+use cr_core::projection::ExascaleProjection;
+use cr_core::units::*;
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "Parameter",
+        "Titan Cray XK7",
+        "Exascale Projection",
+        "Factor change",
+    ]);
+    for row in table1() {
+        t.row(vec![
+            row.parameter.to_string(),
+            row.titan,
+            row.exascale,
+            row.factor,
+        ]);
+    }
+    emit("Table 1: exascale system projection", &t);
+
+    let p = ExascaleProjection::paper_default();
+    println!("Derived C/R requirements (Sec. 3.2-3.4):");
+    println!(
+        "  socket-model system MTTF     : {:.2} min (assumed {:.0} min)",
+        p.derived_mtti / MINUTE,
+        p.mtti / MINUTE
+    );
+    println!(
+        "  checkpoint size (80% memory) : {} per node",
+        fmt_bytes(p.checkpoint_bytes)
+    );
+    println!(
+        "  commit time for 90% progress : {:.1} s",
+        p.required_commit_time
+    );
+    println!(
+        "  required commit bandwidth    : {} per node ({} system-wide)",
+        fmt_rate(p.required_commit_bw),
+        fmt_rate(p.system_commit_bw())
+    );
+    println!(
+        "  per-node share of global I/O : {} -> {} per checkpoint",
+        fmt_rate(p.io_bw_per_node),
+        fmt_secs(p.t_io_per_node())
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates Table 2: compression factor and single-thread speed of
+//! each utility family on each mini-app's (synthetic) checkpoint data.
+//!
+//! Set `REPRO_MB` to change the image size (default 8 MiB; the paper
+//! used multi-GB corpora — factors converge quickly with size, speeds
+//! are hardware-dependent).
+
+use cr_bench::experiments::{table2, table2_averages};
+use cr_bench::table::{emit, TextTable};
+use cr_bench::ReproOpts;
+use cr_compress::registry::{study_codecs, study_paper_labels};
+
+fn main() {
+    let opts = ReproOpts::from_env();
+    println!(
+        "measuring {} MiB per mini-app; REPRO_MB to change\n",
+        opts.image_mb
+    );
+    let rows = table2(&opts);
+    let codecs = study_codecs();
+    let paper_labels = study_paper_labels();
+
+    let mut headers = vec!["Mini-app".to_string()];
+    for (codec, paper) in codecs.iter().zip(paper_labels.iter()) {
+        headers.push(format!("{} [{}]", codec.label(), paper));
+    }
+    let mut tf = TextTable::new(headers.clone());
+    let mut ts = TextTable::new(headers);
+    for row in &rows {
+        let mut rf = vec![row.app.to_string()];
+        let mut rs = vec![row.app.to_string()];
+        for c in &row.cells {
+            rf.push(format!(
+                "{:.1}% (p {:.1}%)",
+                c.factor * 100.0,
+                c.paper_factor * 100.0
+            ));
+            rs.push(format!(
+                "{:.1} (p {:.1})",
+                c.speed / 1e6,
+                c.paper_speed / 1e6
+            ));
+        }
+        tf.row(rf);
+        ts.row(rs);
+    }
+    // Average rows.
+    let avgs = table2_averages(&rows);
+    let mut rf = vec!["Average".to_string()];
+    let mut rs = vec!["Average".to_string()];
+    for (i, (f, s)) in avgs.iter().enumerate() {
+        let paper = cr_core::ndp_sizing::PAPER_UTILITIES[i];
+        rf.push(format!(
+            "{:.1}% (p {:.1}%)",
+            f * 100.0,
+            paper.avg_factor * 100.0
+        ));
+        rs.push(format!("{:.1} (p {:.1})", s / 1e6, paper.avg_speed / 1e6));
+    }
+    tf.row(rf);
+    ts.row(rs);
+
+    emit(
+        "Table 2a: compression factor, measured (p = paper)",
+        &tf,
+    );
+    emit(
+        "Table 2b: compression speed MB/s, measured (p = paper)",
+        &ts,
+    );
+}

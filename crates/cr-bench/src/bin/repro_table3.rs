@@ -1,0 +1,49 @@
+//! Regenerates Table 3: required NDP compression speed, core count and
+//! smallest checkpoint-to-I/O interval per utility — once from the
+//! paper's Table 2 averages, once from our own codecs' measurements.
+
+use cr_bench::experiments::{table2, table3_measured, table3_paper};
+use cr_bench::table::{emit, TextTable};
+use cr_bench::ReproOpts;
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "Utility (level)",
+        "Required speed",
+        "NDP cores",
+        "Ckpt interval",
+    ]);
+    for (util, sizing) in table3_paper() {
+        t.row(vec![
+            util.label(),
+            format!("{:.0} MB/s", sizing.required_rate / 1e6),
+            format!("{}", sizing.cores),
+            format!("{:.0} s", sizing.min_interval),
+        ]);
+    }
+    emit(
+        "Table 3 (from the paper's Table 2 averages)",
+        &t,
+    );
+
+    let opts = ReproOpts::from_env();
+    let rows = table2(&opts);
+    let mut t = TextTable::new(vec![
+        "Our codec [paper utility]",
+        "Required speed",
+        "NDP cores",
+        "Ckpt interval",
+    ]);
+    for (label, sizing) in table3_measured(&rows) {
+        t.row(vec![
+            label,
+            format!("{:.0} MB/s", sizing.required_rate / 1e6),
+            format!("{}", sizing.cores),
+            format!("{:.0} s", sizing.min_interval),
+        ]);
+    }
+    emit(
+        "Table 3 (recomputed from our measured codecs)",
+        &t,
+    );
+}

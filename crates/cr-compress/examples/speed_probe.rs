@@ -1,0 +1,18 @@
+//! Quick single-machine probe of each study codec's speed/ratio profile
+//! on synthetic float-field data (harder than checkpoint images — full
+//! mantissas). For the calibrated study use `cr-workloads`'s
+//! `factor_probe` or the `repro_table2` binary.
+
+use cr_compress::{measure::measure, registry::study_codecs};
+fn main() {
+    // Structured-ish data: smooth f64 fields (compressible like HPC checkpoints)
+    let data: Vec<u8> = (0..2_000_000u64)
+        .flat_map(|i| ((i as f64 / 300.0).sin() * 1000.0).to_le_bytes())
+        .collect();
+    println!("input: {} MB", data.len() / 1_000_000);
+    for c in study_codecs() {
+        let m = measure(c.as_ref(), &data);
+        println!("{:8} factor {:5.1}%  comp {:7.1} MB/s  decomp {:7.1} MB/s",
+            c.label(), m.factor * 100.0, m.compress_rate / 1e6, m.decompress_rate / 1e6);
+    }
+}

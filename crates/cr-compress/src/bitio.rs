@@ -1,0 +1,210 @@
+//! LSB-first bit stream writer and reader shared by the Huffman-based
+//! codecs.
+
+use crate::CodecError;
+
+/// Writes bits LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `bits` (count ≤ 57 per call).
+    #[inline]
+    pub fn write_bits(&mut self, bits: u64, count: u32) {
+        debug_assert!(count <= 57);
+        debug_assert!(count == 64 || bits < (1u64 << count));
+        self.bit_buf |= bits << self.bit_count;
+        self.bit_count += count;
+        while self.bit_count >= 8 {
+            self.out.push((self.bit_buf & 0xFF) as u8);
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Pads to a byte boundary and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.bit_count > 0 {
+            self.out.push((self.bit_buf & 0xFF) as u8);
+        }
+        self.out
+    }
+
+    /// Number of complete bytes written so far.
+    pub fn byte_len(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.bit_count <= 56 && self.pos < self.data.len() {
+            self.bit_buf |= (self.data[self.pos] as u64) << self.bit_count;
+            self.pos += 1;
+            self.bit_count += 8;
+        }
+    }
+
+    /// Reads `count` bits (count ≤ 57). Fails if the stream is
+    /// exhausted.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, CodecError> {
+        debug_assert!(count <= 57);
+        if self.bit_count < count {
+            self.refill();
+            if self.bit_count < count {
+                return Err(CodecError::new("bit stream exhausted"));
+            }
+        }
+        let mask = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        let v = self.bit_buf & mask;
+        self.bit_buf >>= count;
+        self.bit_count -= count;
+        Ok(v)
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<u32, CodecError> {
+        Ok(self.read_bits(1)? as u32)
+    }
+
+    /// Returns the next `count` bits without consuming them, zero-padded
+    /// if the stream ends early (table-based Huffman decode needs a
+    /// fixed-width peek near end of stream).
+    #[inline]
+    pub fn peek_bits(&mut self, count: u32) -> u64 {
+        debug_assert!(count <= 57);
+        if self.bit_count < count {
+            self.refill();
+        }
+        let mask = (1u64 << count) - 1;
+        self.bit_buf & mask
+    }
+
+    /// Consumes `count` bits previously peeked. Fails if fewer bits
+    /// remain.
+    #[inline]
+    pub fn consume(&mut self, count: u32) -> Result<(), CodecError> {
+        if self.bit_count < count {
+            self.refill();
+            if self.bit_count < count {
+                return Err(CodecError::new("bit stream exhausted"));
+            }
+        }
+        self.bit_buf >>= count;
+        self.bit_count -= count;
+        Ok(())
+    }
+
+    /// Number of bits still available.
+    pub fn bits_remaining(&self) -> u64 {
+        self.bit_count as u64 + 8 * (self.data.len() - self.pos) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let values = [
+            (0b1u64, 1u32),
+            (0b1010, 4),
+            (0x7F, 7),
+            (0xDEAD, 16),
+            (0x1F_FFFF, 21),
+            (0, 3),
+(0x1_FFFF_FFFF_FFFF, 49),
+        ];
+        for &(v, c) in &values {
+            w.write_bits(v, c);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, c) in &values {
+            assert_eq!(r.read_bits(c).unwrap(), v, "width {c}");
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        // Padding bits of the final byte are readable ...
+        assert!(r.read_bits(5).is_ok());
+        // ... but past the final byte is an error.
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let bytes = BitWriter::new().finish();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn many_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern: Vec<u64> = (0..1000).map(|i| (i * 7 % 3 == 0) as u64).collect();
+        for &b in &pattern {
+            w.write_bits(b, 1);
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 125);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap() as u64, b);
+        }
+    }
+
+    #[test]
+    fn byte_len_tracks_flushed_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 8);
+        w.write_bits(0b1, 1);
+        assert_eq!(w.byte_len(), 1); // one full byte flushed, 1 bit pending
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+    }
+}

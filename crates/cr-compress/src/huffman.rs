@@ -1,0 +1,398 @@
+//! Length-limited canonical Huffman coding shared by the `gz` and `bwz`
+//! codecs.
+//!
+//! Code lengths are computed with the package-merge algorithm, which is
+//! *optimal* under a maximum-length constraint (no post-hoc fixups).
+//! Codes are assigned canonically (by length, then symbol) and emitted
+//! bit-reversed so they can be written LSB-first through
+//! [`crate::bitio::BitWriter`]; the decoder uses a flat
+//! `2^max_len`-entry lookup table.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+
+/// Maximum supported code length (table size `2^15` = 32 Ki entries).
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Computes optimal length-limited code lengths for `freqs` via
+/// package-merge. Symbols with zero frequency get length 0. `max_len`
+/// must satisfy `2^max_len >= used symbols`.
+pub fn build_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
+    assert!((1..=MAX_CODE_LEN).contains(&max_len));
+    let used: Vec<u16> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, _)| i as u16)
+        .collect();
+    let mut lengths = vec![0u32; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs one bit on the wire.
+            lengths[used[0] as usize] = 1;
+            return lengths;
+        }
+        m => assert!(
+            (m as u64) <= 1u64 << max_len,
+            "alphabet of {m} does not fit in {max_len}-bit codes"
+        ),
+    }
+
+    // Package-merge. An item is (weight, constituent original symbols).
+    type Item = (u64, Vec<u16>);
+    let originals: Vec<Item> = {
+        let mut v: Vec<Item> = used
+            .iter()
+            .map(|&s| (freqs[s as usize], vec![s]))
+            .collect();
+        v.sort_by_key(|(w, _)| *w);
+        v
+    };
+
+    let mut prev: Vec<Item> = Vec::new();
+    for _level in 0..max_len {
+        // Packages from the previous (deeper) level: pair adjacent items.
+        let mut packages: Vec<Item> = Vec::with_capacity(prev.len() / 2);
+        let mut it = prev.into_iter();
+        while let (Some(a), Some(b)) = (it.next(), it.next()) {
+            let mut syms = a.1;
+            syms.extend_from_slice(&b.1);
+            packages.push((a.0 + b.0, syms));
+        }
+        // Merge originals and packages by weight (both sorted).
+        let mut merged =
+            Vec::with_capacity(originals.len() + packages.len());
+        let (mut i, mut j) = (0, 0);
+        while i < originals.len() && j < packages.len() {
+            if originals[i].0 <= packages[j].0 {
+                merged.push(originals[i].clone());
+                i += 1;
+            } else {
+                merged.push(std::mem::take(&mut packages[j]));
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&originals[i..]);
+        for p in packages.drain(j..) {
+            merged.push(p);
+        }
+        prev = merged;
+    }
+
+    // Select the 2m-2 cheapest items; each inclusion of a symbol adds one
+    // to its code length.
+    let take = 2 * used.len() - 2;
+    for (_, syms) in prev.into_iter().take(take) {
+        for s in syms {
+            lengths[s as usize] += 1;
+        }
+    }
+    debug_assert!(kraft_ok(&lengths));
+    lengths
+}
+
+/// Checks the Kraft inequality `sum 2^-len <= 1` (equality for a
+/// complete code).
+fn kraft_ok(lengths: &[u32]) -> bool {
+    let sum: f64 = lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 0.5f64.powi(l as i32))
+        .sum();
+    sum <= 1.0 + 1e-9
+}
+
+/// Assigns canonical codes (by length, then symbol index), returned
+/// bit-reversed for LSB-first emission. Zero-length symbols get code 0.
+fn canonical_codes(lengths: &[u32]) -> Vec<u32> {
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mut count = vec![0u32; max as usize + 1];
+    for &l in lengths {
+        if l > 0 {
+            count[l as usize] += 1;
+        }
+    }
+    let mut next = vec![0u32; max as usize + 2];
+    let mut code = 0u32;
+    for len in 1..=max {
+        code = (code + count[len as usize - 1]) << 1;
+        next[len as usize] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next[l as usize];
+                next[l as usize] += 1;
+                reverse_bits(c, l)
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    code.reverse_bits() >> (32 - len)
+}
+
+/// Canonical Huffman encoder: per-symbol (reversed code, length).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<u32>,
+    lengths: Vec<u32>,
+}
+
+impl Encoder {
+    /// Builds an encoder from code lengths.
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        Encoder {
+            codes: canonical_codes(lengths),
+            lengths: lengths.to_vec(),
+        }
+    }
+
+    /// Builds optimal lengths from frequencies and the encoder in one
+    /// step; also returns the lengths (for the stream header).
+    pub fn from_freqs(freqs: &[u64], max_len: u32) -> (Self, Vec<u32>) {
+        let lengths = build_lengths(freqs, max_len);
+        (Self::from_lengths(&lengths), lengths)
+    }
+
+    /// Emits the code for `sym`.
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, sym: usize) {
+        let len = self.lengths[sym];
+        debug_assert!(len > 0, "encoding symbol {sym} with no code");
+        w.write_bits(self.codes[sym] as u64, len);
+    }
+
+    /// Code length of `sym` (0 = unused).
+    pub fn length(&self, sym: usize) -> u32 {
+        self.lengths[sym]
+    }
+}
+
+/// Canonical Huffman decoder backed by a flat `2^max_len` lookup table.
+#[derive(Debug)]
+pub struct Decoder {
+    /// `table[peeked_bits] = (symbol, code_len)`; `code_len == 0` marks
+    /// an invalid prefix.
+    table: Vec<(u16, u8)>,
+    max_len: u32,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths; rejects oversubscribed
+    /// (invalid) length sets so malformed streams cannot cause panics.
+    pub fn from_lengths(lengths: &[u32]) -> Result<Self, CodecError> {
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return Ok(Decoder {
+                table: Vec::new(),
+                max_len: 0,
+            });
+        }
+        if max > MAX_CODE_LEN {
+            return Err(CodecError::new("code length exceeds maximum"));
+        }
+        // Kraft check with integers.
+        let mut kraft: u64 = 0;
+        for &l in lengths {
+            if l > 0 {
+                kraft += 1u64 << (MAX_CODE_LEN - l.min(MAX_CODE_LEN));
+            }
+        }
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return Err(CodecError::new("oversubscribed Huffman code"));
+        }
+
+        let codes = canonical_codes(lengths);
+        let mut table = vec![(0u16, 0u8); 1usize << max];
+        for (sym, (&len, &code)) in
+            lengths.iter().zip(codes.iter()).enumerate()
+        {
+            if len == 0 {
+                continue;
+            }
+            // The reversed code occupies the low `len` bits of the peek;
+            // fill every table slot whose low bits match.
+            let step = 1usize << len;
+            let mut idx = code as usize;
+            while idx < table.len() {
+                table[idx] = (sym as u16, len as u8);
+                idx += step;
+            }
+        }
+        Ok(Decoder {
+            table,
+            max_len: max,
+        })
+    }
+
+    /// Decodes one symbol.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        if self.max_len == 0 {
+            return Err(CodecError::new("decoding with empty code"));
+        }
+        let peek = r.peek_bits(self.max_len) as usize;
+        let (sym, len) = self.table[peek];
+        if len == 0 {
+            return Err(CodecError::new("invalid Huffman prefix"));
+        }
+        r.consume(len as u32)?;
+        Ok(sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(freqs: &[u64], message: &[usize]) {
+        let (enc, lengths) = Encoder::from_freqs(freqs, MAX_CODE_LEN);
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        for &s in message {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in message {
+            assert_eq!(dec.read(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn two_symbols() {
+        round_trip(&[5, 3], &[0, 1, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn single_symbol_code() {
+        let lengths = build_lengths(&[0, 7, 0], 15);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        round_trip(&[0, 7, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let lengths = build_lengths(&[0, 0, 0], 15);
+        assert!(lengths.iter().all(|&l| l == 0));
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let bytes = [0u8; 1];
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.read(&mut r).is_err());
+    }
+
+    #[test]
+    fn skewed_frequencies_give_short_codes_to_common_symbols() {
+        let freqs = [1000, 10, 10, 10, 1];
+        let lengths = build_lengths(&freqs, 15);
+        assert!(lengths[0] < lengths[4]);
+        assert!(lengths[0] == 1);
+    }
+
+    #[test]
+    fn length_limit_is_respected() {
+        // Fibonacci-ish frequencies force deep optimal trees; limiting
+        // to 5 bits must still produce a valid code for 20 symbols.
+        let mut freqs = vec![0u64; 20];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_lengths(&freqs, 5);
+        assert!(lengths.iter().all(|&l| l <= 5 && l > 0));
+        assert!(kraft_ok(&lengths));
+        let msg: Vec<usize> = (0..20).chain((0..20).rev()).collect();
+        let (enc, lens) = Encoder::from_freqs(&freqs, 5);
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &msg {
+            assert_eq!(dec.read(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn package_merge_is_optimal_without_limit() {
+        // Against a known case: freqs 1,1,2,3,5. Huffman merges
+        // (1+1)=2, (2+2)=4, (3+4)=7, (5+7)=12; total internal weight
+        // (= weighted code length) is 2+4+7+12 = 25 bits.
+        let freqs = [1u64, 1, 2, 3, 5];
+        let lengths = build_lengths(&freqs, 15);
+        let cost: u64 = freqs
+            .iter()
+            .zip(lengths.iter())
+            .map(|(&f, &l)| f * l as u64)
+            .sum();
+        assert_eq!(cost, 25, "lengths = {lengths:?}");
+    }
+
+    #[test]
+    fn full_byte_alphabet_round_trip() {
+        let freqs: Vec<u64> = (0..256).map(|i| 1 + (i as u64 * 7) % 97).collect();
+        let msg: Vec<usize> = (0..4096).map(|i| (i * 31) % 256).collect();
+        round_trip(&freqs, &msg);
+    }
+
+    #[test]
+    fn oversubscribed_code_rejected() {
+        // Three symbols of length 1 violate Kraft.
+        let lengths = [1u32, 1, 1];
+        assert!(Decoder::from_lengths(&lengths).is_err());
+    }
+
+    #[test]
+    fn overlong_code_rejected() {
+        let lengths = [16u32, 1];
+        assert!(Decoder::from_lengths(&lengths).is_err());
+    }
+
+    #[test]
+    fn invalid_prefix_detected_on_incomplete_code() {
+        // Lengths {2} only: peeking other patterns must error, not panic.
+        let lengths = [2u32, 2, 2]; // kraft = 3/4 < 1, incomplete
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        // Code 11 (reversed) is not assigned; must surface as error.
+        let res = dec.read(&mut r);
+        assert!(res.is_err() || res.unwrap() < 3);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs: Vec<u64> = (1..=30).map(|i| i * i).collect();
+        let lengths = build_lengths(&freqs, 15);
+        let codes = canonical_codes(&lengths);
+        // Un-reverse and check pairwise prefix-freedom.
+        let items: Vec<(u32, u32)> = codes
+            .iter()
+            .zip(lengths.iter())
+            .filter(|(_, &l)| l > 0)
+            .map(|(&c, &l)| (reverse_bits(c, l), l))
+            .collect();
+        for (i, &(ca, la)) in items.iter().enumerate() {
+            for &(cb, lb) in items.iter().skip(i + 1) {
+                let l = la.min(lb);
+                assert_ne!(
+                    ca >> (la - l),
+                    cb >> (lb - l),
+                    "codes share a prefix"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Shared LZ77 tokenizer with hash-chain match finding and optional lazy
+//! matching; configurable window, chain depth and match lengths so both
+//! the `gz` (32 KiB window) and `rz` (multi-MiB window) codecs reuse it.
+
+/// Minimum match length worth emitting.
+pub const MIN_MATCH: usize = 3;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes behind the
+    /// current output position. `dist >= 1`, `len >= MIN_MATCH`.
+    Match {
+        /// Match length in bytes.
+        len: u32,
+        /// Backwards distance in bytes.
+        dist: u32,
+    },
+}
+
+/// Tokenizer effort/shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LzParams {
+    /// Window size in bytes (power of two).
+    pub window: usize,
+    /// Maximum match length to emit.
+    pub max_match: usize,
+    /// Hash-chain positions examined per match attempt.
+    pub max_chain: usize,
+    /// Stop searching once a match of at least this length is found.
+    pub nice_len: usize,
+    /// Defer a match by one byte when the next position matches longer.
+    pub lazy: bool,
+}
+
+impl LzParams {
+    /// Sanity-checks parameter consistency.
+    pub fn validate(&self) {
+        assert!(self.window.is_power_of_two());
+        assert!(self.max_match >= MIN_MATCH);
+        assert!(self.nice_len >= MIN_MATCH && self.nice_len <= self.max_match);
+        assert!(self.max_chain >= 1);
+    }
+}
+
+const HASH_BITS: u32 = 16;
+const NO_POS: i32 = -1;
+
+#[inline]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    // Requires pos + 4 <= data.len().
+    let v = u32::from_le_bytes([
+        data[pos],
+        data[pos + 1],
+        data[pos + 2],
+        data[pos + 3],
+    ]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain match finder over a single buffer.
+struct MatchFinder<'a> {
+    data: &'a [u8],
+    head: Vec<i32>,
+    prev: Vec<i32>,
+    window_mask: usize,
+    params: LzParams,
+}
+
+impl<'a> MatchFinder<'a> {
+    fn new(data: &'a [u8], params: LzParams) -> Self {
+        params.validate();
+        MatchFinder {
+            data,
+            head: vec![NO_POS; 1 << HASH_BITS],
+            prev: vec![NO_POS; params.window],
+            window_mask: params.window - 1,
+            params,
+        }
+    }
+
+    /// Inserts position `pos` into the chains.
+    #[inline]
+    fn insert(&mut self, pos: usize) {
+        if pos + 4 > self.data.len() {
+            return;
+        }
+        let h = hash4(self.data, pos);
+        self.prev[pos & self.window_mask] = self.head[h];
+        self.head[h] = pos as i32;
+    }
+
+    /// Finds the best match at `pos`, returning `(len, dist)` when at
+    /// least `MIN_MATCH` long.
+    fn best_match(&self, pos: usize) -> Option<(u32, u32)> {
+        let data = self.data;
+        if pos + MIN_MATCH > data.len() || pos + 4 > data.len() {
+            return None;
+        }
+        let max_len = self.params.max_match.min(data.len() - pos);
+        let min_pos = pos.saturating_sub(self.params.window);
+        let mut cand = self.head[hash4(data, pos)];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0u32;
+        let mut chain = self.params.max_chain;
+
+        while cand >= 0 && chain > 0 {
+            let c = cand as usize;
+            if c < min_pos || c >= pos {
+                break;
+            }
+            chain -= 1;
+            // Quick reject on the byte past the current best.
+            if pos + best_len < data.len()
+                && data[c + best_len] == data[pos + best_len]
+            {
+                let len = common_prefix(data, c, pos, max_len);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = (pos - c) as u32;
+                    if len >= self.params.nice_len {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[c & self.window_mask];
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len as u32, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+#[inline]
+fn common_prefix(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    debug_assert!(a < b);
+    let mut n = 0;
+    // Compare 8 bytes at a time.
+    while n + 8 <= max {
+        let x = u64::from_le_bytes(data[a + n..a + n + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + n..b + n + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return (n + (diff.trailing_zeros() / 8) as usize).min(max);
+        }
+        n += 8;
+    }
+    while n < max && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Tokenizes `input` into literals and matches, appending to `tokens`.
+pub fn tokenize(input: &[u8], params: LzParams, tokens: &mut Vec<Token>) {
+    let mut mf = MatchFinder::new(input, params);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let found = mf.best_match(pos);
+        match found {
+            None => {
+                tokens.push(Token::Literal(input[pos]));
+                mf.insert(pos);
+                pos += 1;
+            }
+            Some((mut len, mut dist)) => {
+                if params.lazy && (len as usize) < params.nice_len {
+                    // Peek one position ahead; if it matches longer, emit
+                    // a literal and take the later match.
+                    mf.insert(pos);
+                    if let Some((len2, dist2)) = mf.best_match(pos + 1) {
+                        if len2 > len + 1 {
+                            tokens.push(Token::Literal(input[pos]));
+                            pos += 1;
+                            len = len2;
+                            dist = dist2;
+                        }
+                    }
+                    tokens.push(Token::Match { len, dist });
+                    // First position already inserted when lazy-probing.
+                    for p in pos + 1..(pos + len as usize).min(input.len()) {
+                        mf.insert(p);
+                    }
+                    pos += len as usize;
+                } else {
+                    tokens.push(Token::Match { len, dist });
+                    for p in pos..(pos + len as usize).min(input.len()) {
+                        mf.insert(p);
+                    }
+                    pos += len as usize;
+                }
+            }
+        }
+    }
+}
+
+/// Reconstructs bytes from tokens (shared by decoder tests; the real
+/// decoders inline this against their output buffers).
+pub fn detokenize(tokens: &[Token], out: &mut Vec<u8>) -> Result<(), String> {
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(format!(
+                        "invalid distance {dist} at output {}",
+                        out.len()
+                    ));
+                }
+                let start = out.len() - dist;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> LzParams {
+        LzParams {
+            window: 1 << 15,
+            max_match: 258,
+            max_chain: 64,
+            nice_len: 128,
+            lazy: true,
+        }
+    }
+
+    fn round_trip(data: &[u8], p: LzParams) {
+        let mut tokens = Vec::new();
+        tokenize(data, p, &mut tokens);
+        let mut out = Vec::new();
+        detokenize(&tokens, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"", params());
+        round_trip(b"a", params());
+        round_trip(b"ab", params());
+        round_trip(b"abc", params());
+    }
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data = b"abcabcabcabcabcabcabcabc".to_vec();
+        let mut tokens = Vec::new();
+        tokenize(&data, params(), &mut tokens);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "no matches found: {tokens:?}"
+        );
+        let mut out = Vec::new();
+        detokenize(&tokens, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        // "aaaa..." compresses as literal 'a' + overlapping match
+        // (dist 1).
+        let data = vec![b'a'; 1000];
+        let mut tokens = Vec::new();
+        tokenize(&data, params(), &mut tokens);
+        assert!(tokens.len() < 20, "tokens = {}", tokens.len());
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { dist: 1, .. })));
+        let mut out = Vec::new();
+        detokenize(&tokens, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn random_bytes_round_trip() {
+        // Pseudo-random bytes: mostly literals, but must stay lossless.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 24) as u8
+            })
+            .collect();
+        round_trip(&data, params());
+    }
+
+    #[test]
+    fn structured_floats_round_trip() {
+        let data: Vec<u8> = (0..4096u32)
+            .flat_map(|i| ((i as f64).sin()).to_le_bytes())
+            .collect();
+        round_trip(&data, params());
+    }
+
+    #[test]
+    fn greedy_vs_lazy_both_round_trip() {
+        let data = b"the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog!"
+            .repeat(20);
+        for lazy in [false, true] {
+            let p = LzParams {
+                lazy,
+                ..params()
+            };
+            round_trip(&data, p);
+        }
+    }
+
+    #[test]
+    fn small_window_limits_distances() {
+        let p = LzParams {
+            window: 1 << 8,
+            max_match: 64,
+            max_chain: 16,
+            nice_len: 64,
+            lazy: false,
+        };
+        let mut data = vec![0u8; 4096];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 97) as u8;
+        }
+        let mut tokens = Vec::new();
+        tokenize(&data, p, &mut tokens);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!(*dist as usize <= 1 << 8);
+            }
+        }
+        let mut out = Vec::new();
+        detokenize(&tokens, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn max_match_respected() {
+        let p = LzParams {
+            max_match: 16,
+            nice_len: 16,
+            ..params()
+        };
+        let data = vec![b'z'; 500];
+        let mut tokens = Vec::new();
+        tokenize(&data, p, &mut tokens);
+        for t in &tokens {
+            if let Token::Match { len, .. } = t {
+                assert!(*len <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_distance() {
+        let tokens = [Token::Match { len: 4, dist: 5 }];
+        let mut out = Vec::new();
+        assert!(detokenize(&tokens, &mut out).is_err());
+    }
+
+    #[test]
+    fn common_prefix_finds_exact_length() {
+        let data = b"abcdefgh_abcdefgX";
+        assert_eq!(common_prefix(data, 0, 9, 8), 7);
+        let long = [5u8; 100];
+        assert_eq!(common_prefix(&long, 0, 50, 50), 50);
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared unit constants and conversion helpers.
+//!
+//! The whole workspace uses plain `f64` quantities with documented units:
+//! **seconds** for time, **bytes** for sizes, **bytes/second** for
+//! bandwidths and processing rates. Sizes in the paper are decimal
+//! (1 GB = 10⁹ bytes): Titan's 38 GB/node × 18 688 nodes is quoted as
+//! 710 TB, which only holds with decimal prefixes.
+
+/// One kilobyte (decimal), in bytes.
+pub const KB: f64 = 1e3;
+/// One megabyte (decimal), in bytes.
+pub const MB: f64 = 1e6;
+/// One gigabyte (decimal), in bytes.
+pub const GB: f64 = 1e9;
+/// One terabyte (decimal), in bytes.
+pub const TB: f64 = 1e12;
+/// One petabyte (decimal), in bytes.
+pub const PB: f64 = 1e15;
+
+/// One kibibyte, in bytes (used for in-memory buffer sizing).
+pub const KIB: usize = 1024;
+/// One mebibyte, in bytes (used for in-memory buffer sizing).
+pub const MIB: usize = 1024 * 1024;
+
+/// One minute, in seconds.
+pub const MINUTE: f64 = 60.0;
+/// One hour, in seconds.
+pub const HOUR: f64 = 3600.0;
+/// One day, in seconds.
+pub const DAY: f64 = 24.0 * HOUR;
+/// One (Julian) year, in seconds.
+pub const YEAR: f64 = 365.25 * DAY;
+
+/// One teraflop/s, in flop/s.
+pub const TFLOPS: f64 = 1e12;
+/// One petaflop/s, in flop/s.
+pub const PFLOPS: f64 = 1e15;
+/// One exaflop/s, in flop/s.
+pub const EFLOPS: f64 = 1e18;
+
+/// Formats a byte count with an adaptive decimal prefix, e.g. `112 GB`.
+pub fn fmt_bytes(bytes: f64) -> String {
+    let abs = bytes.abs();
+    let (scaled, suffix) = if abs >= PB {
+        (bytes / PB, "PB")
+    } else if abs >= TB {
+        (bytes / TB, "TB")
+    } else if abs >= GB {
+        (bytes / GB, "GB")
+    } else if abs >= MB {
+        (bytes / MB, "MB")
+    } else if abs >= KB {
+        (bytes / KB, "KB")
+    } else {
+        (bytes, "B")
+    };
+    if (scaled - scaled.round()).abs() < 5e-3 {
+        format!("{} {}", scaled.round() as i64, suffix)
+    } else {
+        format!("{:.2} {}", scaled, suffix)
+    }
+}
+
+/// Formats a duration in seconds adaptively (`9 s`, `18.7 min`, `2.1 h`).
+pub fn fmt_secs(secs: f64) -> String {
+    let abs = secs.abs();
+    if abs >= DAY {
+        format!("{:.2} d", secs / DAY)
+    } else if abs >= HOUR {
+        format!("{:.2} h", secs / HOUR)
+    } else if abs >= MINUTE {
+        format!("{:.2} min", secs / MINUTE)
+    } else if abs >= 1.0 {
+        format!("{:.2} s", secs)
+    } else {
+        format!("{:.1} ms", secs * 1e3)
+    }
+}
+
+/// Formats a rate in bytes/second with an adaptive decimal prefix.
+pub fn fmt_rate(bytes_per_sec: f64) -> String {
+    format!("{}/s", fmt_bytes(bytes_per_sec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_prefixes_scale_by_thousand() {
+        assert_eq!(GB / MB, 1000.0);
+        assert_eq!(TB / GB, 1000.0);
+        assert_eq!(PB / TB, 1000.0);
+    }
+
+    #[test]
+    fn titan_memory_uses_decimal_prefixes() {
+        // 38 GB/node * 18688 nodes ~= 710 TB, as quoted in Table 1.
+        let total = 38.0 * GB * 18_688.0;
+        assert!((total / TB - 710.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn fmt_bytes_picks_prefix() {
+        assert_eq!(fmt_bytes(112.0 * GB), "112 GB");
+        assert_eq!(fmt_bytes(14.0 * PB), "14 PB");
+        assert_eq!(fmt_bytes(1.5 * MB), "1.50 MB");
+        assert_eq!(fmt_bytes(12.0), "12 B");
+    }
+
+    #[test]
+    fn fmt_secs_picks_unit() {
+        assert_eq!(fmt_secs(9.0), "9.00 s");
+        assert_eq!(fmt_secs(30.0 * MINUTE), "30.00 min");
+        assert_eq!(fmt_secs(0.5), "500.0 ms");
+    }
+
+    #[test]
+    fn fmt_rate_appends_per_second() {
+        assert_eq!(fmt_rate(100.0 * MB), "100 MB/s");
+    }
+}

@@ -1,0 +1,539 @@
+//! Hash-based incremental checkpointing and cross-rank deduplication —
+//! the paper's §7 future-work NDP optimizations ("NDP is well suited to
+//! compare data for consecutive checkpoints and checkpoints of
+//! neighboring MPI rank"), in the style of libhashckpt \[22\] and
+//! checkpoint-deduplication work \[23, 24\].
+//!
+//! * [`BlockHasher`] — 128-bit per-block fingerprints (two independent
+//!   64-bit FNV-1a variants; collision odds ~2⁻¹²⁸ per pair, and the
+//!   dedup store additionally verifies bytes on insert).
+//! * [`IncrementalEncoder`] — diffs a checkpoint against the previous
+//!   one block-by-block, emitting only changed blocks plus an
+//!   unchanged-block map; [`apply_incremental`] reconstructs.
+//! * [`DedupStore`] — content-addressed block store for checkpoints of
+//!   neighboring ranks: identical blocks (ghost zones, common constants,
+//!   zero pages) are stored once.
+
+use std::collections::HashMap;
+
+/// Default diff granularity, bytes.
+pub const DEFAULT_BLOCK: usize = 64 * 1024;
+
+/// A 128-bit content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u64, pub u64);
+
+/// Computes per-block fingerprints.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockHasher {
+    /// Block size in bytes (last block may be short).
+    pub block_size: usize,
+}
+
+impl BlockHasher {
+    /// Creates a hasher with the given block size.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size >= 64, "block size too small to be useful");
+        BlockHasher { block_size }
+    }
+
+    /// Fingerprints one block.
+    pub fn fingerprint(data: &[u8]) -> Fingerprint {
+        // Two FNV-1a streams with distinct offsets/primes.
+        let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut b: u64 = 0x6c62_272e_07bb_0142;
+        for &byte in data {
+            a ^= byte as u64;
+            a = a.wrapping_mul(0x0000_0100_0000_01B3);
+            b ^= (byte as u64).rotate_left(17) ^ 0xA5;
+            b = b.wrapping_mul(0x0000_0001_0000_01B3 | 1);
+        }
+        // Finalization avalanche.
+        a ^= a >> 33;
+        a = a.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        b ^= b >> 29;
+        b = b.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        Fingerprint(a ^ (b >> 7), b ^ (a >> 13))
+    }
+
+    /// Fingerprints every block of an image.
+    pub fn fingerprint_image(&self, data: &[u8]) -> Vec<Fingerprint> {
+        data.chunks(self.block_size)
+            .map(Self::fingerprint)
+            .collect()
+    }
+}
+
+/// One entry of an incremental image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockDelta {
+    /// Block identical to the base checkpoint's block at the same
+    /// index.
+    Unchanged,
+    /// Block payload replacing the base block.
+    Data(Vec<u8>),
+}
+
+/// An incremental checkpoint: deltas against a base checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalImage {
+    /// Total uncompressed size of the checkpoint this encodes.
+    pub full_size: usize,
+    /// Diff block size.
+    pub block_size: usize,
+    /// Per-block deltas, in order.
+    pub blocks: Vec<BlockDelta>,
+}
+
+impl IncrementalImage {
+    /// Bytes of actual payload carried (the changed blocks).
+    pub fn payload_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                BlockDelta::Unchanged => 0,
+                BlockDelta::Data(d) => d.len(),
+            })
+            .sum()
+    }
+
+    /// Fraction of blocks that changed.
+    pub fn changed_fraction(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        let changed = self
+            .blocks
+            .iter()
+            .filter(|b| matches!(b, BlockDelta::Data(_)))
+            .count();
+        changed as f64 / self.blocks.len() as f64
+    }
+
+    /// Serializes to a compact byte stream
+    /// (`[u64 full][u32 block][u32 n]` then per block a tag byte and,
+    /// for data blocks, `[u32 len][bytes]`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_bytes() + 64);
+        out.extend_from_slice(b"INCR");
+        out.extend_from_slice(&(self.full_size as u64).to_le_bytes());
+        out.extend_from_slice(&(self.block_size as u32).to_le_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for b in &self.blocks {
+            match b {
+                BlockDelta::Unchanged => out.push(0),
+                BlockDelta::Data(d) => {
+                    out.push(1);
+                    out.extend_from_slice(&(d.len() as u32).to_le_bytes());
+                    out.extend_from_slice(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a stream produced by [`IncrementalImage::encode`].
+    pub fn decode(data: &[u8]) -> Result<Self, String> {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            if *pos + n > data.len() {
+                return Err("truncated incremental image".into());
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let mut pos = 0usize;
+        if take(&mut pos, 4)? != b"INCR" {
+            return Err("bad incremental magic".into());
+        }
+        let full_size =
+            u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let block_size =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let n =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if block_size == 0 || n != full_size.div_ceil(block_size.max(1)) {
+            return Err("inconsistent incremental geometry".into());
+        }
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            match take(&mut pos, 1)?[0] {
+                0 => blocks.push(BlockDelta::Unchanged),
+                1 => {
+                    let len = u32::from_le_bytes(
+                        take(&mut pos, 4)?.try_into().unwrap(),
+                    ) as usize;
+                    if len > block_size {
+                        return Err("block overruns block size".into());
+                    }
+                    blocks.push(BlockDelta::Data(take(&mut pos, len)?.to_vec()));
+                }
+                t => return Err(format!("bad block tag {t}")),
+            }
+        }
+        Ok(IncrementalImage {
+            full_size,
+            block_size,
+            blocks,
+        })
+    }
+}
+
+/// Diffs successive checkpoints of one application rank. Keeps only
+/// fingerprints of the previous checkpoint (libhashckpt's trick: no
+/// copy of the old data is needed).
+#[derive(Debug)]
+pub struct IncrementalEncoder {
+    hasher: BlockHasher,
+    prev: Option<(usize, Vec<Fingerprint>)>,
+}
+
+impl IncrementalEncoder {
+    /// Creates an encoder with the given block size.
+    pub fn new(block_size: usize) -> Self {
+        IncrementalEncoder {
+            hasher: BlockHasher::new(block_size),
+            prev: None,
+        }
+    }
+
+    /// True if the next [`IncrementalEncoder::encode`] can produce a
+    /// delta (a base exists and geometry matches).
+    pub fn has_base(&self, data_len: usize) -> bool {
+        matches!(&self.prev, Some((len, _)) if *len == data_len)
+    }
+
+    /// Encodes `data` against the previous checkpoint, updating the
+    /// stored fingerprints. Returns `None` (caller must ship a full
+    /// checkpoint) when no compatible base exists.
+    pub fn encode(&mut self, data: &[u8]) -> Option<IncrementalImage> {
+        let hashes = self.hasher.fingerprint_image(data);
+        let result = match &self.prev {
+            Some((len, prev_hashes)) if *len == data.len() => {
+                let blocks = data
+                    .chunks(self.hasher.block_size)
+                    .zip(hashes.iter())
+                    .enumerate()
+                    .map(|(i, (chunk, h))| {
+                        if prev_hashes.get(i) == Some(h) {
+                            BlockDelta::Unchanged
+                        } else {
+                            BlockDelta::Data(chunk.to_vec())
+                        }
+                    })
+                    .collect();
+                Some(IncrementalImage {
+                    full_size: data.len(),
+                    block_size: self.hasher.block_size,
+                    blocks,
+                })
+            }
+            _ => None,
+        };
+        self.prev = Some((data.len(), hashes));
+        result
+    }
+
+    /// Forgets the base (node loss destroyed it, or a fresh full
+    /// checkpoint is being forced).
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// Reconstructs a checkpoint from a base image plus an incremental.
+pub fn apply_incremental(
+    base: &[u8],
+    incr: &IncrementalImage,
+) -> Result<Vec<u8>, String> {
+    if base.len() != incr.full_size {
+        return Err(format!(
+            "base size {} does not match incremental {}",
+            base.len(),
+            incr.full_size
+        ));
+    }
+    let mut out = Vec::with_capacity(incr.full_size);
+    for (i, delta) in incr.blocks.iter().enumerate() {
+        let start = i * incr.block_size;
+        let end = (start + incr.block_size).min(incr.full_size);
+        match delta {
+            BlockDelta::Unchanged => out.extend_from_slice(&base[start..end]),
+            BlockDelta::Data(d) => {
+                if d.len() != end - start {
+                    return Err("data block has wrong length".into());
+                }
+                out.extend_from_slice(d);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Content-addressed block store deduplicating checkpoints across MPI
+/// ranks (§7's second NDP opportunity). Bytes are verified on insert,
+/// so fingerprint collisions cannot corrupt data.
+#[derive(Debug, Default)]
+pub struct DedupStore {
+    blocks: HashMap<Fingerprint, Vec<u8>>,
+    /// Bytes that would have been stored without dedup.
+    pub logical_bytes: u64,
+    /// Bytes actually stored.
+    pub stored_bytes: u64,
+}
+
+/// A deduplicated checkpoint: the recipe of fingerprints to reassemble
+/// it from a [`DedupStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupRecipe {
+    /// Total size.
+    pub full_size: usize,
+    /// Block size used.
+    pub block_size: usize,
+    /// Fingerprint of each block in order.
+    pub blocks: Vec<Fingerprint>,
+}
+
+impl DedupStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests a checkpoint, storing only novel blocks. Returns the
+    /// reassembly recipe.
+    pub fn ingest(&mut self, data: &[u8], block_size: usize) -> DedupRecipe {
+        let mut blocks = Vec::with_capacity(data.len().div_ceil(block_size));
+        for chunk in data.chunks(block_size) {
+            let fp = BlockHasher::fingerprint(chunk);
+            self.logical_bytes += chunk.len() as u64;
+            match self.blocks.get(&fp) {
+                Some(existing) => {
+                    // Verify to make collisions impossible in practice.
+                    assert_eq!(
+                        existing.as_slice(),
+                        chunk,
+                        "fingerprint collision detected"
+                    );
+                }
+                None => {
+                    self.stored_bytes += chunk.len() as u64;
+                    self.blocks.insert(fp, chunk.to_vec());
+                }
+            }
+            blocks.push(fp);
+        }
+        DedupRecipe {
+            full_size: data.len(),
+            block_size,
+            blocks,
+        }
+    }
+
+    /// Reassembles a checkpoint from its recipe.
+    pub fn reassemble(&self, recipe: &DedupRecipe) -> Result<Vec<u8>, String> {
+        let mut out = Vec::with_capacity(recipe.full_size);
+        for fp in &recipe.blocks {
+            let block = self
+                .blocks
+                .get(fp)
+                .ok_or_else(|| "missing block in dedup store".to_string())?;
+            out.extend_from_slice(block);
+        }
+        if out.len() != recipe.full_size {
+            return Err("reassembled size mismatch".into());
+        }
+        Ok(out)
+    }
+
+    /// Dedup factor achieved so far: `1 − stored/logical`.
+    pub fn dedup_factor(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.stored_bytes as f64 / self.logical_bytes as f64
+    }
+
+    /// Number of unique blocks held.
+    pub fn unique_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(tag: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| tag ^ ((i / 7) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn fingerprints_differ_on_small_changes() {
+        let a = image(0, 4096);
+        let mut b = a.clone();
+        b[2048] ^= 1;
+        assert_ne!(BlockHasher::fingerprint(&a), BlockHasher::fingerprint(&b));
+        assert_eq!(
+            BlockHasher::fingerprint(&a),
+            BlockHasher::fingerprint(&a.clone())
+        );
+    }
+
+    #[test]
+    fn incremental_detects_sparse_changes() {
+        let mut enc = IncrementalEncoder::new(1024);
+        let base = image(1, 64 * 1024);
+        assert!(enc.encode(&base).is_none(), "first checkpoint is full");
+        let mut next = base.clone();
+        // Touch two blocks.
+        next[100] ^= 0xFF;
+        next[50_000] ^= 0xFF;
+        let incr = enc.encode(&next).expect("delta expected");
+        assert_eq!(incr.blocks.len(), 64);
+        let changed = incr
+            .blocks
+            .iter()
+            .filter(|b| matches!(b, BlockDelta::Data(_)))
+            .count();
+        assert_eq!(changed, 2);
+        assert!(incr.payload_bytes() <= 2 * 1024);
+        assert_eq!(apply_incremental(&base, &incr).unwrap(), next);
+    }
+
+    #[test]
+    fn incremental_chain_reconstructs() {
+        let mut enc = IncrementalEncoder::new(512);
+        let v1 = image(3, 10_000);
+        enc.encode(&v1);
+        let mut v2 = v1.clone();
+        v2[999] = 0xAA;
+        let d2 = enc.encode(&v2).unwrap();
+        let mut v3 = v2.clone();
+        v3[5_000] = 0xBB;
+        v3[5_600] = 0xCC;
+        let d3 = enc.encode(&v3).unwrap();
+        // Chain: v1 + d2 -> v2; v2 + d3 -> v3.
+        let r2 = apply_incremental(&v1, &d2).unwrap();
+        assert_eq!(r2, v2);
+        let r3 = apply_incremental(&r2, &d3).unwrap();
+        assert_eq!(r3, v3);
+    }
+
+    #[test]
+    fn size_change_forces_full_checkpoint() {
+        let mut enc = IncrementalEncoder::new(1024);
+        enc.encode(&image(1, 8192));
+        assert!(enc.encode(&image(1, 4096)).is_none());
+        // But the new size becomes the base for the next one.
+        assert!(enc.encode(&image(1, 4096)).is_some());
+    }
+
+    #[test]
+    fn reset_forgets_base() {
+        let mut enc = IncrementalEncoder::new(1024);
+        let img = image(2, 8192);
+        enc.encode(&img);
+        assert!(enc.has_base(img.len()));
+        enc.reset();
+        assert!(!enc.has_base(img.len()));
+        assert!(enc.encode(&img).is_none());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut enc = IncrementalEncoder::new(777); // odd block size
+        let base = image(9, 10_001); // non-multiple length
+        enc.encode(&base);
+        let mut next = base.clone();
+        next[9_999] ^= 1;
+        let incr = enc.encode(&next).unwrap();
+        let bytes = incr.encode();
+        let back = IncrementalImage::decode(&bytes).unwrap();
+        assert_eq!(back, incr);
+        assert_eq!(apply_incremental(&base, &back).unwrap(), next);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(IncrementalImage::decode(b"nope").is_err());
+        let mut enc = IncrementalEncoder::new(1024);
+        let base = image(4, 4096);
+        enc.encode(&base);
+        let incr = enc.encode(&base).unwrap();
+        let bytes = incr.encode();
+        for cut in [3, 10, bytes.len() - 1] {
+            assert!(IncrementalImage::decode(&bytes[..cut]).is_err());
+        }
+        // Corrupt the block count.
+        let mut bad = bytes.clone();
+        bad[16] ^= 0xFF;
+        assert!(IncrementalImage::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base() {
+        let mut enc = IncrementalEncoder::new(1024);
+        let base = image(5, 8192);
+        enc.encode(&base);
+        let incr = enc.encode(&base).unwrap();
+        assert!(apply_incremental(&base[..4096], &incr).is_err());
+    }
+
+    #[test]
+    fn unchanged_checkpoint_is_nearly_free() {
+        let mut enc = IncrementalEncoder::new(4096);
+        let img = image(6, 1 << 20);
+        enc.encode(&img);
+        let incr = enc.encode(&img).unwrap();
+        assert_eq!(incr.payload_bytes(), 0);
+        assert_eq!(incr.changed_fraction(), 0.0);
+        assert!(incr.encode().len() < 1024, "map overhead only");
+    }
+
+    #[test]
+    fn dedup_across_identical_ranks() {
+        let mut store = DedupStore::new();
+        let img = image(7, 256 * 1024);
+        let r1 = store.ingest(&img, 4096);
+        let r2 = store.ingest(&img, 4096);
+        assert!(store.dedup_factor() > 0.49, "{}", store.dedup_factor());
+        assert_eq!(store.reassemble(&r1).unwrap(), img);
+        assert_eq!(store.reassemble(&r2).unwrap(), img);
+    }
+
+    #[test]
+    fn dedup_on_partially_shared_ranks() {
+        let mut store = DedupStore::new();
+        // Two ranks sharing a common "constant table" region.
+        let shared = image(8, 128 * 1024);
+        let mut rank_a = shared.clone();
+        rank_a.extend(image(10, 128 * 1024));
+        let mut rank_b = shared;
+        rank_b.extend(image(11, 128 * 1024));
+        let ra = store.ingest(&rank_a, 4096);
+        let rb = store.ingest(&rank_b, 4096);
+        let f = store.dedup_factor();
+        assert!(f > 0.2 && f < 0.35, "dedup factor {f}");
+        assert_eq!(store.reassemble(&ra).unwrap(), rank_a);
+        assert_eq!(store.reassemble(&rb).unwrap(), rank_b);
+    }
+
+    #[test]
+    fn dedup_zero_pages_collapse() {
+        let mut store = DedupStore::new();
+        let zeros = vec![0u8; 1 << 20];
+        store.ingest(&zeros, 4096);
+        assert_eq!(store.unique_blocks(), 1);
+        assert!(store.dedup_factor() > 0.99);
+    }
+
+    #[test]
+    fn reassemble_missing_block_errors() {
+        let mut store = DedupStore::new();
+        let img = image(12, 8192);
+        let mut recipe = store.ingest(&img, 4096);
+        recipe.blocks[0] = Fingerprint(1, 2); // bogus
+        assert!(store.reassemble(&recipe).is_err());
+    }
+}

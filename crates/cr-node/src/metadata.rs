@@ -1,0 +1,259 @@
+//! BLCR-style checkpoint metadata (§4.2.1 of the paper).
+//!
+//! BLCR attaches to each checkpoint the parent process ID, the MPI
+//! process (rank) ID and a unique checkpoint ID; the node uses this to
+//! track the latest checkpoint and its location per application. This
+//! module is that record, plus a compact binary encoding so metadata can
+//! live alongside checkpoint bytes in the stores.
+
+use std::fmt;
+
+/// Identifies one checkpoint of one application rank.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CheckpointMeta {
+    /// Application identifier (BLCR: parent process id).
+    pub app_id: String,
+    /// MPI rank whose context this checkpoint holds.
+    pub rank: u32,
+    /// Monotonic checkpoint ID within the application.
+    pub ckpt_id: u64,
+    /// Uncompressed payload size, bytes.
+    pub size: u64,
+    /// Logical timestamp (host checkpoint counter) when taken.
+    pub taken_at: u64,
+    /// Codec label if the stored payload is compressed (`None` =
+    /// uncompressed).
+    pub codec: Option<String>,
+    /// For incremental checkpoints: the `ckpt_id` of the base this
+    /// delta applies to (§7 future-work drains). `None` = full image.
+    pub base: Option<u64>,
+}
+
+impl CheckpointMeta {
+    /// Creates metadata for an uncompressed checkpoint.
+    pub fn new(app_id: &str, rank: u32, ckpt_id: u64, size: u64, taken_at: u64) -> Self {
+        CheckpointMeta {
+            app_id: app_id.to_string(),
+            rank,
+            ckpt_id,
+            size,
+            taken_at,
+            codec: None,
+            base: None,
+        }
+    }
+
+    /// Returns a copy marked as an incremental delta over `base`.
+    pub fn incremental_over(&self, base: u64) -> Self {
+        CheckpointMeta {
+            base: Some(base),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy describing the compressed form of this checkpoint.
+    pub fn compressed_with(&self, codec: &str) -> Self {
+        CheckpointMeta {
+            codec: Some(codec.to_string()),
+            ..self.clone()
+        }
+    }
+
+    /// Serializes to a compact binary record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(b"CKPTMETA");
+        let app = self.app_id.as_bytes();
+        out.extend_from_slice(&(app.len() as u32).to_le_bytes());
+        out.extend_from_slice(app);
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.ckpt_id.to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.taken_at.to_le_bytes());
+        match &self.codec {
+            None => out.extend_from_slice(&0u32.to_le_bytes()),
+            Some(c) => {
+                let cb = c.as_bytes();
+                out.extend_from_slice(&(cb.len() as u32).to_le_bytes());
+                out.extend_from_slice(cb);
+            }
+        }
+        match self.base {
+            None => out.push(0),
+            Some(b) => {
+                out.push(1);
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a record produced by [`CheckpointMeta::encode`].
+    pub fn decode(data: &[u8]) -> Result<Self, MetaError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], MetaError> {
+            if *pos + n > data.len() {
+                return Err(MetaError::Truncated);
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 8)? != b"CKPTMETA" {
+            return Err(MetaError::BadMagic);
+        }
+        let app_len =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if app_len > 4096 {
+            return Err(MetaError::Truncated);
+        }
+        let app_id = String::from_utf8(take(&mut pos, app_len)?.to_vec())
+            .map_err(|_| MetaError::BadUtf8)?;
+        let rank = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let ckpt_id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let size = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let taken_at =
+            u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let codec_len =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let codec = if codec_len == 0 {
+            None
+        } else {
+            if codec_len > 256 {
+                return Err(MetaError::Truncated);
+            }
+            Some(
+                String::from_utf8(take(&mut pos, codec_len)?.to_vec())
+                    .map_err(|_| MetaError::BadUtf8)?,
+            )
+        };
+        let base = match take(&mut pos, 1)?[0] {
+            0 => None,
+            1 => Some(u64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().unwrap(),
+            )),
+            _ => return Err(MetaError::Truncated),
+        };
+        Ok(CheckpointMeta {
+            app_id,
+            rank,
+            ckpt_id,
+            size,
+            taken_at,
+            codec,
+            base,
+        })
+    }
+}
+
+impl fmt::Display for CheckpointMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[rank {}] ckpt #{} ({} bytes{})",
+            self.app_id,
+            self.rank,
+            self.ckpt_id,
+            self.size,
+            match &self.codec {
+                Some(c) => format!(", {c}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Metadata decoding error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaError {
+    /// Record does not start with the expected magic.
+    BadMagic,
+    /// Record ends prematurely.
+    Truncated,
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::BadMagic => write!(f, "bad metadata magic"),
+            MetaError::Truncated => write!(f, "truncated metadata"),
+            MetaError::BadUtf8 => write!(f, "invalid UTF-8 in metadata"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointMeta {
+        CheckpointMeta::new("lulesh", 3, 42, 112_000_000_000, 99)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample();
+        assert_eq!(CheckpointMeta::decode(&m.encode()).unwrap(), m);
+        let c = m.compressed_with("gz(1)");
+        assert_eq!(CheckpointMeta::decode(&c.encode()).unwrap(), c);
+        assert_eq!(c.codec.as_deref(), Some("gz(1)"));
+    }
+
+    #[test]
+    fn incremental_marker_round_trips() {
+        let m = sample().incremental_over(41);
+        assert_eq!(m.base, Some(41));
+        let back = CheckpointMeta::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        let full = sample();
+        assert_eq!(
+            CheckpointMeta::decode(&full.encode()).unwrap().base,
+            None
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            CheckpointMeta::decode(b"not meta").unwrap_err(),
+            MetaError::BadMagic
+        );
+        let mut enc = sample().encode();
+        enc.truncate(enc.len() - 3);
+        assert_eq!(
+            CheckpointMeta::decode(&enc).unwrap_err(),
+            MetaError::Truncated
+        );
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let mut enc = sample().encode();
+        // Corrupt a byte of the app-id string.
+        enc[13] = 0xFF;
+        assert!(matches!(
+            CheckpointMeta::decode(&enc),
+            Err(MetaError::BadUtf8) | Err(MetaError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", sample().compressed_with("rz(6)"));
+        assert!(s.contains("lulesh") && s.contains("#42") && s.contains("rz(6)"));
+    }
+
+    #[test]
+    fn huge_length_fields_are_rejected() {
+        let mut enc = b"CKPTMETA".to_vec();
+        enc.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            CheckpointMeta::decode(&enc).unwrap_err(),
+            MetaError::Truncated
+        );
+    }
+}

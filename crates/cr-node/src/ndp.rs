@@ -1,0 +1,717 @@
+//! The NDP drain engine (§4.2.2, §4.3).
+//!
+//! A deterministic state machine: each [`NdpEngine::step`] performs one
+//! unit of work — ship one block from the NIC buffer to the remote I/O
+//! node, or compress one block of the checkpoint at the head of the
+//! drain queue. The engine:
+//!
+//! * **pauses** while the host owns the NVM (§4.2.1 — the host calls
+//!   [`NdpEngine::pause`]/[`NdpEngine::resume`] around its commits) and
+//!   during recoveries (§4.2.3);
+//! * compresses and ships **block-by-block**, overlapping compression
+//!   with the transfer (§4.2.2's pipelined DMA transactions);
+//! * under NIC backpressure either **stalls** (`Pause` policy) or
+//!   **spills** compressed blocks to the NVM's compressed region
+//!   (`Spill` policy) — the two §4.2.2 options;
+//! * **locks** the source checkpoint in NVM for the duration of its
+//!   drain and unlocks it when done.
+//!
+//! Blocks are framed `[u32 raw_len][u32 comp_len][payload]` so the
+//! restore path can decompress incrementally (pipelined restore, §4.3).
+
+use std::collections::{HashMap, VecDeque};
+
+use cr_compress::{Codec, CodecError};
+
+use crate::incremental::IncrementalEncoder;
+use crate::metadata::CheckpointMeta;
+use crate::nvm::{NvmStore, Region, SlotId};
+use crate::remote::{IoNode, ObjectKey};
+use crate::vclock::VClock;
+
+/// What the NDP does when the NIC buffer is full (§4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Pause compression until NIC space frees up.
+    #[default]
+    Pause,
+    /// Keep compressing, spilling compressed blocks to the NVM's
+    /// compressed region.
+    Spill,
+}
+
+/// A block waiting in the NIC transmit buffer.
+#[derive(Debug)]
+struct NicBlock {
+    key: ObjectKey,
+    data: Vec<u8>,
+}
+
+/// Bounded NIC transmit buffer.
+#[derive(Debug)]
+pub struct NicBuffer {
+    queue: VecDeque<NicBlock>,
+    capacity: usize,
+    /// Test/scenario hook: when true the network refuses traffic,
+    /// emulating contention from the application's own communication.
+    pub blocked: bool,
+}
+
+impl NicBuffer {
+    fn new(capacity: usize) -> Self {
+        NicBuffer {
+            queue: VecDeque::new(),
+            capacity,
+            blocked: false,
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Blocks currently queued.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Incremental-drain configuration (§7 future work: the NDP diffs
+/// consecutive checkpoints and ships only changed blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalPolicy {
+    /// Maximum number of consecutive deltas before a full checkpoint is
+    /// forced (bounds the restore chain, like video keyframes).
+    pub max_chain: u32,
+    /// Diff granularity, bytes.
+    pub diff_block: usize,
+}
+
+impl Default for IncrementalPolicy {
+    fn default() -> Self {
+        IncrementalPolicy {
+            max_chain: 4,
+            diff_block: 64 * 1024,
+        }
+    }
+}
+
+/// Per-(app, rank) incremental drain state.
+#[derive(Debug)]
+struct IncrState {
+    encoder: IncrementalEncoder,
+    last_drained_id: u64,
+    chain_len: u32,
+}
+
+/// One checkpoint being drained.
+#[derive(Debug)]
+struct DrainJob {
+    slot: SlotId,
+    key: ObjectKey,
+    meta: CheckpointMeta,
+    /// Delta payload when shipping an incremental; `None` streams the
+    /// slot's full data.
+    delta: Option<Vec<u8>>,
+    /// Source preparation (diffing) done.
+    prepared: bool,
+    /// Next uncompressed offset to compress.
+    offset: usize,
+    /// Object announced to the remote store.
+    begun: bool,
+    /// Spilled compressed blocks awaiting shipment, in order.
+    spilled: VecDeque<SlotId>,
+    /// All input compressed; only shipping remains.
+    compression_done: bool,
+    /// Number of blocks handed to NIC/spill but not yet shipped.
+    unshipped: usize,
+}
+
+/// Result of one engine step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// No work queued.
+    Idle,
+    /// One unit of work done.
+    Progress,
+    /// A drain finished (object finalized, slot unlocked).
+    CompletedDrain(SlotId),
+    /// Paused by the host.
+    Paused,
+    /// Cannot proceed: NIC full under `Pause` policy, or NVM compressed
+    /// region full under `Spill`.
+    Stalled,
+}
+
+/// Counters for the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NdpStats {
+    /// Blocks compressed.
+    pub blocks_compressed: u64,
+    /// Blocks shipped to the remote node.
+    pub blocks_shipped: u64,
+    /// Blocks spilled to NVM under backpressure.
+    pub blocks_spilled: u64,
+    /// Drains completed.
+    pub drains_completed: u64,
+    /// Drains cancelled by failures.
+    pub drains_cancelled: u64,
+    /// Drains shipped as incremental deltas rather than full images.
+    pub incremental_drains: u64,
+}
+
+/// The drain engine.
+pub struct NdpEngine {
+    codec: Option<Box<dyn Codec>>,
+    policy: BackpressurePolicy,
+    block_size: usize,
+    incremental: Option<IncrementalPolicy>,
+    incr_state: HashMap<(String, u32), IncrState>,
+    /// NIC transmit buffer.
+    pub nic: NicBuffer,
+    queue: VecDeque<DrainJob>,
+    paused: bool,
+    next_spill_id: u64,
+    /// Modeled NDP compression throughput, bytes/s (virtual-time
+    /// charging).
+    pub compress_bw: f64,
+    /// Event counters.
+    pub stats: NdpStats,
+}
+
+impl NdpEngine {
+    /// Creates an engine. `codec: None` drains uncompressed.
+    pub fn new(
+        codec: Option<Box<dyn Codec>>,
+        policy: BackpressurePolicy,
+        block_size: usize,
+        nic_capacity: usize,
+        compress_bw: f64,
+    ) -> Self {
+        assert!(block_size >= 1024, "block size unreasonably small");
+        assert!(nic_capacity >= 1);
+        NdpEngine {
+            codec,
+            policy,
+            block_size,
+            incremental: None,
+            incr_state: HashMap::new(),
+            nic: NicBuffer::new(nic_capacity),
+            queue: VecDeque::new(),
+            paused: false,
+            next_spill_id: 0,
+            compress_bw,
+            stats: NdpStats::default(),
+        }
+    }
+
+    /// Enables incremental drains (§7 future work): the NDP diffs each
+    /// drained checkpoint against the previous one of the same rank and
+    /// ships only changed blocks, forcing a full image every
+    /// `policy.max_chain` deltas.
+    pub fn enable_incremental(&mut self, policy: IncrementalPolicy) {
+        assert!(policy.diff_block >= 64);
+        self.incremental = Some(policy);
+    }
+
+    /// Codec label used for drained objects (`None` = uncompressed).
+    pub fn codec_label(&self) -> Option<String> {
+        self.codec.as_ref().map(|c| c.label())
+    }
+
+    /// Host is about to use the NVM: suspend drain work (§4.2.1).
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Host released the NVM: drain work may proceed.
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    /// Whether the engine is paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Queues a checkpoint slot for draining. The caller must have
+    /// locked the slot in NVM.
+    pub fn enqueue(&mut self, slot: SlotId, meta: CheckpointMeta) {
+        let mut drained_meta = meta.clone();
+        if let Some(c) = &self.codec {
+            drained_meta = meta.compressed_with(&c.label());
+        }
+        self.queue.push_back(DrainJob {
+            slot,
+            key: ObjectKey::of(&meta),
+            meta: drained_meta,
+            delta: None,
+            prepared: false,
+            offset: 0,
+            begun: false,
+            spilled: VecDeque::new(),
+            compression_done: false,
+            unshipped: 0,
+        });
+    }
+
+    /// Pending drains (including the in-flight head).
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drops all drain state (node-loss failure §4.2.3); the caller
+    /// wipes the NVM and aborts incomplete remote objects. Incremental
+    /// diff bases die with the node, so the next drain of every rank is
+    /// a full checkpoint.
+    pub fn reset(&mut self) {
+        self.stats.drains_cancelled += self.queue.len() as u64;
+        self.queue.clear();
+        self.nic.queue.clear();
+        self.incr_state.clear();
+        self.paused = false;
+    }
+
+    /// Performs one unit of drain work.
+    pub fn step(
+        &mut self,
+        nvm: &mut NvmStore,
+        io: &mut IoNode,
+        clock: &mut VClock,
+    ) -> Result<StepOutcome, CodecError> {
+        if self.paused {
+            return Ok(StepOutcome::Paused);
+        }
+
+        // 1. Ship a block from the NIC if the network accepts traffic.
+        if !self.nic.blocked {
+            if let Some(block) = self.nic.queue.pop_front() {
+                VClock::charge(&mut clock.io_link, block.data.len(), io.bandwidth);
+                io.append_block(&block.key, &block.data)
+                    .map_err(|e| CodecError::new(e.to_string()))?;
+                self.stats.blocks_shipped += 1;
+                let mut completed = None;
+                if let Some(job) = self
+                    .queue
+                    .iter_mut()
+                    .find(|j| j.key == block.key)
+                {
+                    job.unshipped -= 1;
+                    // Completion is decided at ship time: all input
+                    // compressed, nothing spilled, nothing left in the
+                    // NIC for this object.
+                    if job.compression_done
+                        && job.spilled.is_empty()
+                        && job.unshipped == 0
+                    {
+                        io.finalize(&block.key)
+                            .map_err(|e| CodecError::new(e.to_string()))?;
+                        self.stats.drains_completed += 1;
+                        completed = Some(job.slot);
+                    }
+                }
+                if let Some(slot) = completed {
+                    self.queue.retain(|j| j.slot != slot);
+                    return Ok(StepOutcome::CompletedDrain(slot));
+                }
+                return Ok(StepOutcome::Progress);
+            }
+        }
+
+        // 2. Move a spilled block into the NIC when there is room.
+        if !self.nic.full() {
+            let spill_info = self.queue.iter_mut().find_map(|job| {
+                job.spilled
+                    .pop_front()
+                    .map(|sid| (sid, job.key.clone(), job))
+            });
+            if let Some((sid, key, job)) = spill_info {
+                let slot = nvm
+                    .remove(sid)
+                    .map_err(|e| CodecError::new(e.to_string()))?;
+                job.unshipped += 1;
+                self.nic.queue.push_back(NicBlock {
+                    key,
+                    data: slot.data,
+                });
+                return Ok(StepOutcome::Progress);
+            }
+        }
+
+        // 3. Compress the next block of the head job.
+        let Some(job) = self
+            .queue
+            .iter_mut()
+            .find(|j| !j.compression_done)
+        else {
+            // Jobs may still be waiting on shipment; if the NIC is
+            // blocked that is a stall, otherwise nothing to do.
+            return Ok(if self.queue.is_empty() {
+                StepOutcome::Idle
+            } else {
+                StepOutcome::Stalled
+            });
+        };
+
+        let nic_available = !self.nic.full();
+        if !nic_available && self.policy == BackpressurePolicy::Pause {
+            return Ok(StepOutcome::Stalled);
+        }
+
+        // Source preparation: under incremental drains, diff against
+        // the previous drained checkpoint of this rank (§7) before the
+        // first block is compressed.
+        if !job.prepared {
+            if let Some(policy) = self.incremental {
+                let slot_data = &nvm
+                    .get(job.slot)
+                    .ok_or_else(|| CodecError::new("drain source vanished"))?
+                    .data;
+                let state = self
+                    .incr_state
+                    .entry((job.meta.app_id.clone(), job.meta.rank))
+                    .or_insert_with(|| IncrState {
+                        encoder: IncrementalEncoder::new(policy.diff_block),
+                        last_drained_id: 0,
+                        chain_len: 0,
+                    });
+                let want_delta = state.chain_len < policy.max_chain
+                    && state.encoder.has_base(slot_data.len());
+                let delta = state.encoder.encode(slot_data);
+                match (want_delta, delta) {
+                    (true, Some(incr)) => {
+                        job.meta =
+                            job.meta.incremental_over(state.last_drained_id);
+                        job.delta = Some(incr.encode());
+                        state.chain_len += 1;
+                        self.stats.incremental_drains += 1;
+                    }
+                    _ => state.chain_len = 0,
+                }
+                state.last_drained_id = job.meta.ckpt_id;
+            }
+            job.prepared = true;
+        }
+
+        if !job.begun {
+            io.begin(job.meta.clone())
+                .map_err(|e| CodecError::new(e.to_string()))?;
+            job.begun = true;
+        }
+
+        let source_data: &[u8] = match &job.delta {
+            Some(d) => d,
+            None => {
+                &nvm.get(job.slot)
+                    .ok_or_else(|| {
+                        CodecError::new("drain source slot vanished")
+                    })?
+                    .data
+            }
+        };
+        let raw_len = source_data.len();
+        let start = job.offset;
+        let end = (start + self.block_size).min(raw_len);
+        let chunk = &source_data[start..end];
+        let chunk_len = chunk.len();
+
+        // Frame: [u32 raw][u32 comp][payload].
+        let payload = match &self.codec {
+            Some(c) => c.compress_to_vec(chunk),
+            None => chunk.to_vec(),
+        };
+        VClock::charge(&mut clock.ndp_compute, chunk_len, self.compress_bw);
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        framed.extend_from_slice(&(chunk_len as u32).to_le_bytes());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        self.stats.blocks_compressed += 1;
+
+        job.offset = end;
+        let is_last_block = end == raw_len;
+        if is_last_block {
+            job.compression_done = true;
+        }
+        let slot_to_unlock = if is_last_block { Some(job.slot) } else { None };
+
+        // Blocks must ship in order: once any block of this job has been
+        // spilled, later blocks go to the spill queue too.
+        if nic_available && job.spilled.is_empty() {
+            job.unshipped += 1;
+            let key = job.key.clone();
+            self.nic.queue.push_back(NicBlock { key, data: framed });
+        } else {
+            // Spill policy: park the compressed block in the NVM's
+            // compressed region.
+            self.next_spill_id += 1;
+            let spill_meta = CheckpointMeta {
+                app_id: format!("__spill__/{}", job.meta.app_id),
+                rank: job.meta.rank,
+                ckpt_id: job.meta.ckpt_id,
+                size: framed.len() as u64,
+                taken_at: self.next_spill_id,
+                codec: job.meta.codec.clone(),
+                base: job.meta.base,
+            };
+            match nvm.write(Region::Compressed, spill_meta, framed) {
+                Ok(sid) => {
+                    job.spilled.push_back(sid);
+                    self.stats.blocks_spilled += 1;
+                }
+                Err(_) => {
+                    // Compressed region full too: genuine stall. Undo
+                    // the offset advance so the block is recompressed.
+                    job.offset = start;
+                    job.compression_done = false;
+                    self.stats.blocks_compressed -= 1;
+                    return Ok(StepOutcome::Stalled);
+                }
+            }
+        }
+
+        // Input fully read: the uncompressed slot may be reused
+        // (§4.2.2's unlock arrow) even while blocks remain in flight.
+        if let Some(slot) = slot_to_unlock {
+            nvm.unlock(slot)
+                .map_err(|e| CodecError::new(e.to_string()))?;
+        }
+        Ok(StepOutcome::Progress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_compress::registry;
+
+    fn setup(
+        policy: BackpressurePolicy,
+        codec: bool,
+        nic_cap: usize,
+    ) -> (NdpEngine, NvmStore, IoNode, VClock) {
+        let codec = if codec {
+            Some(registry::by_name("gz", 1).unwrap())
+        } else {
+            None
+        };
+        (
+            NdpEngine::new(codec, policy, 4096, nic_cap, 440e6),
+            NvmStore::new(1 << 22, 1 << 20),
+            IoNode::new(100e6),
+            VClock::default(),
+        )
+    }
+
+    fn store_and_enqueue(
+        engine: &mut NdpEngine,
+        nvm: &mut NvmStore,
+        ckpt_id: u64,
+        data: Vec<u8>,
+    ) -> (SlotId, CheckpointMeta) {
+        let meta =
+            CheckpointMeta::new("app", 0, ckpt_id, data.len() as u64, ckpt_id);
+        let slot = nvm
+            .write(Region::Uncompressed, meta.clone(), data)
+            .unwrap();
+        nvm.lock(slot).unwrap();
+        engine.enqueue(slot, meta.clone());
+        (slot, meta)
+    }
+
+    fn drain_to_idle(
+        engine: &mut NdpEngine,
+        nvm: &mut NvmStore,
+        io: &mut IoNode,
+        clock: &mut VClock,
+    ) {
+        for _ in 0..1_000_000 {
+            match engine.step(nvm, io, clock).unwrap() {
+                StepOutcome::Idle => return,
+                StepOutcome::Stalled => panic!("unexpected stall"),
+                _ => {}
+            }
+        }
+        panic!("drain did not converge");
+    }
+
+    #[test]
+    fn drains_compressed_checkpoint_end_to_end() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let data = b"checkpoint payload ".repeat(3000);
+        let (slot, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, data.clone());
+        drain_to_idle(&mut engine, &mut nvm, &mut io, &mut clock);
+
+        assert_eq!(engine.stats.drains_completed, 1);
+        assert!(!nvm.get(slot).unwrap().locked, "slot must unlock");
+        let key = ObjectKey::of(&meta);
+        let (rmeta, blob) = io.read(&key).unwrap();
+        assert_eq!(rmeta.codec.as_deref(), Some("gz(1)"));
+        // Framed blocks decompress back to the original bytes.
+        let gz = registry::by_name("gz", 1).unwrap();
+        let mut restored = Vec::new();
+        let mut pos = 0;
+        while pos < blob.len() {
+            let raw =
+                u32::from_le_bytes(blob[pos..pos + 4].try_into().unwrap())
+                    as usize;
+            let comp =
+                u32::from_le_bytes(blob[pos + 4..pos + 8].try_into().unwrap())
+                    as usize;
+            pos += 8;
+            let part =
+                gz.decompress_to_vec(&blob[pos..pos + comp]).unwrap();
+            assert_eq!(part.len(), raw);
+            restored.extend_from_slice(&part);
+            pos += comp;
+        }
+        assert_eq!(restored, data);
+        // Compressible payload: remote object smaller than input.
+        assert!(blob.len() < data.len() / 2);
+        assert!(clock.ndp_compute > 0.0 && clock.io_link > 0.0);
+    }
+
+    #[test]
+    fn uncompressed_drain_preserves_bytes() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, false, 4);
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let (_, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, data.clone());
+        drain_to_idle(&mut engine, &mut nvm, &mut io, &mut clock);
+        let (rmeta, blob) = io.read(&ObjectKey::of(&meta)).unwrap();
+        assert!(rmeta.codec.is_none());
+        // Strip frames.
+        let mut restored = Vec::new();
+        let mut pos = 0;
+        while pos < blob.len() {
+            let raw =
+                u32::from_le_bytes(blob[pos..pos + 4].try_into().unwrap())
+                    as usize;
+            pos += 8;
+            restored.extend_from_slice(&blob[pos..pos + raw]);
+            pos += raw;
+        }
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn pause_blocks_all_progress() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        store_and_enqueue(&mut engine, &mut nvm, 1, vec![1u8; 10_000]);
+        engine.pause();
+        for _ in 0..10 {
+            assert_eq!(
+                engine.step(&mut nvm, &mut io, &mut clock).unwrap(),
+                StepOutcome::Paused
+            );
+        }
+        assert_eq!(engine.stats.blocks_compressed, 0);
+        engine.resume();
+        assert_eq!(
+            engine.step(&mut nvm, &mut io, &mut clock).unwrap(),
+            StepOutcome::Progress
+        );
+    }
+
+    #[test]
+    fn nic_blockage_stalls_under_pause_policy() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 2);
+        store_and_enqueue(&mut engine, &mut nvm, 1, vec![7u8; 100_000]);
+        engine.nic.blocked = true;
+        // Fill the NIC, then stall.
+        let mut stalls = 0;
+        for _ in 0..50 {
+            match engine.step(&mut nvm, &mut io, &mut clock).unwrap() {
+                StepOutcome::Stalled => stalls += 1,
+                StepOutcome::Progress => {}
+                o => panic!("unexpected {o:?}"),
+            }
+        }
+        assert!(stalls > 0);
+        assert_eq!(engine.nic.depth(), 2);
+        assert_eq!(engine.stats.blocks_spilled, 0);
+        // Unblock: everything drains.
+        engine.nic.blocked = false;
+        drain_to_idle(&mut engine, &mut nvm, &mut io, &mut clock);
+        assert_eq!(engine.stats.drains_completed, 1);
+    }
+
+    #[test]
+    fn nic_blockage_spills_under_spill_policy() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Spill, true, 2);
+        let data = vec![3u8; 100_000];
+        let (_, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, data.clone());
+        engine.nic.blocked = true;
+        // Compression continues past the NIC capacity by spilling.
+        for _ in 0..100 {
+            let o = engine.step(&mut nvm, &mut io, &mut clock).unwrap();
+            if o == StepOutcome::Stalled {
+                break;
+            }
+        }
+        assert!(engine.stats.blocks_spilled > 0, "no spills happened");
+        assert!(nvm.used(Region::Compressed) > 0);
+        // Unblock: spilled blocks ship in order and the drain finishes.
+        engine.nic.blocked = false;
+        drain_to_idle(&mut engine, &mut nvm, &mut io, &mut clock);
+        assert_eq!(engine.stats.drains_completed, 1);
+        assert_eq!(nvm.used(Region::Compressed), 0, "spills reclaimed");
+        assert!(io.read(&ObjectKey::of(&meta)).is_some());
+    }
+
+    #[test]
+    fn multiple_queued_drains_complete_in_order() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let mut metas = Vec::new();
+        for id in 1..=3 {
+            let data = vec![id as u8; 30_000];
+            let (_, meta) = store_and_enqueue(&mut engine, &mut nvm, id, data);
+            metas.push(meta);
+        }
+        assert_eq!(engine.backlog(), 3);
+        drain_to_idle(&mut engine, &mut nvm, &mut io, &mut clock);
+        assert_eq!(engine.stats.drains_completed, 3);
+        for meta in &metas {
+            assert!(io.read(&ObjectKey::of(meta)).is_some());
+        }
+    }
+
+    #[test]
+    fn reset_cancels_pending_drains() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        store_and_enqueue(&mut engine, &mut nvm, 1, vec![5u8; 50_000]);
+        store_and_enqueue(&mut engine, &mut nvm, 2, vec![6u8; 50_000]);
+        // A little progress, then node loss.
+        for _ in 0..3 {
+            engine.step(&mut nvm, &mut io, &mut clock).unwrap();
+        }
+        engine.reset();
+        nvm.wipe();
+        io.abort_incomplete();
+        assert_eq!(engine.backlog(), 0);
+        assert_eq!(engine.stats.drains_cancelled, 2);
+        assert_eq!(
+            engine.step(&mut nvm, &mut io, &mut clock).unwrap(),
+            StepOutcome::Idle
+        );
+        assert_eq!(io.object_count(), 0);
+    }
+
+    #[test]
+    fn idle_engine_reports_idle() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, false, 1);
+        assert_eq!(
+            engine.step(&mut nvm, &mut io, &mut clock).unwrap(),
+            StepOutcome::Idle
+        );
+    }
+}

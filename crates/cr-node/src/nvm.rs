@@ -1,0 +1,444 @@
+//! The compute node's local NVM, organized as the paper describes
+//! (§4.2.1, §4.3): capacity partitioned into **two circular-buffer
+//! regions** — one holding uncompressed checkpoints written by the host,
+//! one holding compressed checkpoints produced by the NDP. Checkpoints
+//! are written FIFO; a checkpoint being drained to global I/O is
+//! **locked** so a future checkpoint write cannot overwrite it, and the
+//! capacity is unlocked (reusable) once the drain completes.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::metadata::CheckpointMeta;
+
+/// Which circular-buffer region a slot lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Host-written uncompressed checkpoints.
+    Uncompressed,
+    /// NDP-written compressed checkpoints (§4.3's second buffer).
+    Compressed,
+}
+
+/// Handle to a stored checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub u64);
+
+/// One stored checkpoint.
+#[derive(Debug)]
+pub struct Slot {
+    /// Stable identifier.
+    pub id: SlotId,
+    /// Checkpoint metadata.
+    pub meta: CheckpointMeta,
+    /// Payload bytes (compressed iff `meta.codec.is_some()`).
+    pub data: Vec<u8>,
+    /// Locked against eviction while the NDP drains it.
+    pub locked: bool,
+    /// CRC-64 of `data`, computed at commit time.
+    pub checksum: u64,
+}
+
+impl Slot {
+    /// True if the payload still matches its commit-time checksum.
+    pub fn verify(&self) -> bool {
+        crate::integrity::Crc64::of(&self.data) == self.checksum
+    }
+}
+
+/// Errors from NVM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmError {
+    /// The payload exceeds the region capacity outright.
+    TooLarge {
+        /// Requested payload size.
+        requested: usize,
+        /// Region capacity.
+        capacity: usize,
+    },
+    /// Eviction cannot free enough space because remaining slots are
+    /// locked (drains in flight).
+    AllLocked,
+    /// No slot with the given ID.
+    NoSuchSlot,
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::TooLarge {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "checkpoint of {requested} bytes exceeds region capacity {capacity}"
+            ),
+            NvmError::AllLocked => {
+                write!(f, "region full of locked (draining) checkpoints")
+            }
+            NvmError::NoSuchSlot => write!(f, "no such slot"),
+        }
+    }
+}
+
+impl std::error::Error for NvmError {}
+
+/// One circular-buffer region: FIFO slots under a byte capacity.
+#[derive(Debug)]
+struct RegionBuf {
+    capacity: usize,
+    used: usize,
+    slots: VecDeque<Slot>,
+}
+
+impl RegionBuf {
+    fn new(capacity: usize) -> Self {
+        RegionBuf {
+            capacity,
+            used: 0,
+            slots: VecDeque::new(),
+        }
+    }
+
+    /// Evicts unlocked slots FIFO until `need` bytes fit. Locked slots
+    /// block eviction of everything behind them (circular-buffer
+    /// semantics: space reuse is in order).
+    fn make_room(&mut self, need: usize) -> Result<Vec<Slot>, NvmError> {
+        if need > self.capacity {
+            return Err(NvmError::TooLarge {
+                requested: need,
+                capacity: self.capacity,
+            });
+        }
+        let mut evicted: Vec<Slot> = Vec::new();
+        while self.capacity - self.used < need {
+            match self.slots.front() {
+                None => unreachable!("used > 0 implies a front slot"),
+                Some(s) if s.locked => {
+                    // Roll back: re-insert evicted slots at the front in
+                    // original order.
+                    for s in evicted.into_iter().rev() {
+                        self.used += s.data.len();
+                        self.slots.push_front(s);
+                    }
+                    return Err(NvmError::AllLocked);
+                }
+                Some(_) => {
+                    let s = self.slots.pop_front().unwrap();
+                    self.used -= s.data.len();
+                    evicted.push(s);
+                }
+            }
+        }
+        Ok(evicted)
+    }
+
+    fn push(&mut self, slot: Slot) {
+        self.used += slot.data.len();
+        self.slots.push_back(slot);
+    }
+}
+
+/// The node-local NVM store.
+pub struct NvmStore {
+    uncompressed: RegionBuf,
+    compressed: RegionBuf,
+    next_id: u64,
+    /// Total evictions performed (wraparound count).
+    pub evictions: u64,
+}
+
+impl NvmStore {
+    /// Creates a store with the given per-region byte capacities.
+    pub fn new(uncompressed_capacity: usize, compressed_capacity: usize) -> Self {
+        NvmStore {
+            uncompressed: RegionBuf::new(uncompressed_capacity),
+            compressed: RegionBuf::new(compressed_capacity),
+            next_id: 1,
+            evictions: 0,
+        }
+    }
+
+    fn region_mut(&mut self, r: Region) -> &mut RegionBuf {
+        match r {
+            Region::Uncompressed => &mut self.uncompressed,
+            Region::Compressed => &mut self.compressed,
+        }
+    }
+
+    fn region(&self, r: Region) -> &RegionBuf {
+        match r {
+            Region::Uncompressed => &self.uncompressed,
+            Region::Compressed => &self.compressed,
+        }
+    }
+
+    /// Writes a checkpoint into a region, evicting oldest unlocked
+    /// checkpoints as needed (circular-buffer reuse). Returns the new
+    /// slot ID.
+    pub fn write(
+        &mut self,
+        region: Region,
+        meta: CheckpointMeta,
+        data: Vec<u8>,
+    ) -> Result<SlotId, NvmError> {
+        let evicted = self.region_mut(region).make_room(data.len())?;
+        self.evictions += evicted.len() as u64;
+        let id = SlotId(self.next_id);
+        self.next_id += 1;
+        let checksum = crate::integrity::Crc64::of(&data);
+        self.region_mut(region).push(Slot {
+            id,
+            meta,
+            data,
+            locked: false,
+            checksum,
+        });
+        Ok(id)
+    }
+
+    /// Looks up a slot by ID in either region.
+    pub fn get(&self, id: SlotId) -> Option<&Slot> {
+        self.uncompressed
+            .slots
+            .iter()
+            .chain(self.compressed.slots.iter())
+            .find(|s| s.id == id)
+    }
+
+    fn get_mut(&mut self, id: SlotId) -> Option<&mut Slot> {
+        self.uncompressed
+            .slots
+            .iter_mut()
+            .chain(self.compressed.slots.iter_mut())
+            .find(|s| s.id == id)
+    }
+
+    /// Locks a slot against eviction (drain in progress — §4.2.2).
+    pub fn lock(&mut self, id: SlotId) -> Result<(), NvmError> {
+        self.get_mut(id)
+            .map(|s| s.locked = true)
+            .ok_or(NvmError::NoSuchSlot)
+    }
+
+    /// Unlocks a slot (drain complete; capacity reusable — §4.2.2).
+    pub fn unlock(&mut self, id: SlotId) -> Result<(), NvmError> {
+        self.get_mut(id)
+            .map(|s| s.locked = false)
+            .ok_or(NvmError::NoSuchSlot)
+    }
+
+    /// The newest checkpoint of an application rank in a region, by
+    /// checkpoint ID.
+    pub fn latest(
+        &self,
+        region: Region,
+        app_id: &str,
+        rank: u32,
+    ) -> Option<&Slot> {
+        self.region(region)
+            .slots
+            .iter()
+            .filter(|s| s.meta.app_id == app_id && s.meta.rank == rank)
+            .max_by_key(|s| s.meta.ckpt_id)
+    }
+
+    /// All slots of a region, oldest first.
+    pub fn slots(&self, region: Region) -> impl Iterator<Item = &Slot> {
+        self.region(region).slots.iter()
+    }
+
+    /// Bytes in use in a region.
+    pub fn used(&self, region: Region) -> usize {
+        self.region(region).used
+    }
+
+    /// Byte capacity of a region.
+    pub fn capacity(&self, region: Region) -> usize {
+        self.region(region).capacity
+    }
+
+    /// Removes a slot outright (used when a spilled compressed block has
+    /// been shipped and its capacity can be returned immediately).
+    pub fn remove(&mut self, id: SlotId) -> Result<Slot, NvmError> {
+        for region in [Region::Uncompressed, Region::Compressed] {
+            let buf = self.region_mut(region);
+            if let Some(idx) = buf.slots.iter().position(|s| s.id == id) {
+                let slot = buf.slots.remove(idx).expect("index in range");
+                buf.used -= slot.data.len();
+                return Ok(slot);
+            }
+        }
+        Err(NvmError::NoSuchSlot)
+    }
+
+    /// Fault injection for tests and chaos drills: flips one bit of a
+    /// stored payload, emulating NVM bit-rot. The commit-time checksum
+    /// is left untouched so verification catches the damage.
+    pub fn tamper(&mut self, id: SlotId, byte_index: usize) -> Result<(), NvmError> {
+        let slot = self.get_mut(id).ok_or(NvmError::NoSuchSlot)?;
+        let idx = byte_index % slot.data.len().max(1);
+        if !slot.data.is_empty() {
+            slot.data[idx] ^= 0x01;
+        }
+        Ok(())
+    }
+
+    /// Destroys all contents (node-loss failure).
+    pub fn wipe(&mut self) {
+        self.uncompressed.slots.clear();
+        self.uncompressed.used = 0;
+        self.compressed.slots.clear();
+        self.compressed.used = 0;
+    }
+}
+
+impl fmt::Debug for NvmStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NvmStore")
+            .field("uncompressed_used", &self.uncompressed.used)
+            .field("uncompressed_slots", &self.uncompressed.slots.len())
+            .field("compressed_used", &self.compressed.used)
+            .field("compressed_slots", &self.compressed.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64, size: u64) -> CheckpointMeta {
+        CheckpointMeta::new("app", 0, id, size, id)
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let mut nvm = NvmStore::new(1000, 1000);
+        let id = nvm
+            .write(Region::Uncompressed, meta(1, 100), vec![9u8; 100])
+            .unwrap();
+        let slot = nvm.get(id).unwrap();
+        assert_eq!(slot.data, vec![9u8; 100]);
+        assert_eq!(slot.meta.ckpt_id, 1);
+        assert_eq!(nvm.used(Region::Uncompressed), 100);
+        assert_eq!(nvm.used(Region::Compressed), 0);
+    }
+
+    #[test]
+    fn fifo_eviction_on_wraparound() {
+        let mut nvm = NvmStore::new(250, 0);
+        let a = nvm
+            .write(Region::Uncompressed, meta(1, 100), vec![1; 100])
+            .unwrap();
+        let b = nvm
+            .write(Region::Uncompressed, meta(2, 100), vec![2; 100])
+            .unwrap();
+        // Third checkpoint forces eviction of the oldest (a).
+        let c = nvm
+            .write(Region::Uncompressed, meta(3, 100), vec![3; 100])
+            .unwrap();
+        assert!(nvm.get(a).is_none());
+        assert!(nvm.get(b).is_some());
+        assert!(nvm.get(c).is_some());
+        assert_eq!(nvm.evictions, 1);
+    }
+
+    #[test]
+    fn locked_slots_survive_wraparound() {
+        let mut nvm = NvmStore::new(250, 0);
+        let a = nvm
+            .write(Region::Uncompressed, meta(1, 100), vec![1; 100])
+            .unwrap();
+        nvm.lock(a).unwrap();
+        let _b = nvm
+            .write(Region::Uncompressed, meta(2, 100), vec![2; 100])
+            .unwrap();
+        // No unlocked space: front is locked, write must fail.
+        let err = nvm
+            .write(Region::Uncompressed, meta(3, 100), vec![3; 100])
+            .unwrap_err();
+        assert_eq!(err, NvmError::AllLocked);
+        // Store intact after the failed write.
+        assert!(nvm.get(a).is_some());
+        assert_eq!(nvm.used(Region::Uncompressed), 200);
+        // Unlock -> the blocked write now succeeds, evicting a.
+        nvm.unlock(a).unwrap();
+        let c = nvm
+            .write(Region::Uncompressed, meta(3, 100), vec![3; 100])
+            .unwrap();
+        assert!(nvm.get(a).is_none());
+        assert!(nvm.get(c).is_some());
+    }
+
+    #[test]
+    fn oversized_write_rejected_without_eviction() {
+        let mut nvm = NvmStore::new(100, 0);
+        let a = nvm
+            .write(Region::Uncompressed, meta(1, 50), vec![1; 50])
+            .unwrap();
+        let err = nvm
+            .write(Region::Uncompressed, meta(2, 200), vec![2; 200])
+            .unwrap_err();
+        assert!(matches!(err, NvmError::TooLarge { .. }));
+        assert!(nvm.get(a).is_some());
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let mut nvm = NvmStore::new(100, 100);
+        nvm.write(Region::Uncompressed, meta(1, 100), vec![1; 100])
+            .unwrap();
+        // Compressed region still has room.
+        nvm.write(Region::Compressed, meta(1, 80), vec![2; 80])
+            .unwrap();
+        assert_eq!(nvm.used(Region::Uncompressed), 100);
+        assert_eq!(nvm.used(Region::Compressed), 80);
+    }
+
+    #[test]
+    fn latest_picks_highest_ckpt_id() {
+        let mut nvm = NvmStore::new(10_000, 0);
+        for i in 1..=5 {
+            nvm.write(Region::Uncompressed, meta(i, 10), vec![i as u8; 10])
+                .unwrap();
+        }
+        let latest = nvm.latest(Region::Uncompressed, "app", 0).unwrap();
+        assert_eq!(latest.meta.ckpt_id, 5);
+        assert!(nvm.latest(Region::Uncompressed, "other", 0).is_none());
+        assert!(nvm.latest(Region::Uncompressed, "app", 1).is_none());
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut nvm = NvmStore::new(1000, 1000);
+        nvm.write(Region::Uncompressed, meta(1, 10), vec![1; 10])
+            .unwrap();
+        nvm.write(Region::Compressed, meta(1, 10), vec![1; 10])
+            .unwrap();
+        nvm.wipe();
+        assert_eq!(nvm.used(Region::Uncompressed), 0);
+        assert_eq!(nvm.used(Region::Compressed), 0);
+        assert_eq!(nvm.slots(Region::Uncompressed).count(), 0);
+    }
+
+    #[test]
+    fn lock_missing_slot_errors() {
+        let mut nvm = NvmStore::new(100, 0);
+        assert_eq!(nvm.lock(SlotId(99)).unwrap_err(), NvmError::NoSuchSlot);
+    }
+
+    #[test]
+    fn multiple_evictions_for_one_write() {
+        let mut nvm = NvmStore::new(300, 0);
+        for i in 1..=3 {
+            nvm.write(Region::Uncompressed, meta(i, 100), vec![i as u8; 100])
+                .unwrap();
+        }
+        // 250-byte write evicts three 100-byte slots.
+        nvm.write(Region::Uncompressed, meta(4, 250), vec![4; 250])
+            .unwrap();
+        assert_eq!(nvm.evictions, 3);
+        assert_eq!(nvm.slots(Region::Uncompressed).count(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal scoped-thread parallel map used for replica fan-out and
+//! parameter sweeps.
+//!
+//! Replicas of a Monte-Carlo simulation are embarrassingly parallel and
+//! uniform in cost, so a simple atomic-counter work queue over
+//! `crossbeam` scoped threads is all that is needed — no work stealing,
+//! no task graph. Results land in their input positions, so the output
+//! order is deterministic regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, in parallel, preserving order.
+///
+/// Spawns up to `min(items.len(), available_parallelism)` threads.
+/// Panics in `f` propagate after all threads finish their current item.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+    let out_slots = &mut out[..];
+
+    crossbeam::thread::scope(|scope| {
+        // Hand each worker a raw view of the output buffer: every index
+        // is claimed exactly once via the atomic counter, so no two
+        // workers touch the same slot.
+        let out_addr = SendPtr(out_slots.as_mut_ptr());
+        for _ in 0..threads {
+            let f = &f;
+            let next = &next;
+            let items = &items;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                // SAFETY: index i is uniquely claimed by this worker and
+                // in-bounds; the buffer outlives the scope.
+                unsafe {
+                    *out_addr.get().add(i) = Some(r);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_iter()
+        .map(|slot| slot.expect("slot not filled"))
+        .collect()
+}
+
+/// A `Send + Copy` wrapper for the raw output pointer shared across
+/// workers. Soundness argument in [`par_map`].
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `SendPtr` — edition-2021 disjoint capture would otherwise
+    /// capture the raw pointer field, which is not `Send`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = par_map(&[41], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_is_still_complete() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            // Deliberately skewed cost.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i as u64);
+            }
+            (x, acc)
+        });
+        assert_eq!(out.len(), 64);
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn results_match_sequential() {
+        let items: Vec<f64> = (0..500).map(|i| i as f64 / 7.0).collect();
+        let seq: Vec<f64> = items.iter().map(|x| x.sin()).collect();
+        let par = par_map(&items, |x| x.sin());
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,143 @@
+//! High-level simulation entry points: single runs and averaged
+//! multi-replica runs.
+
+use cr_core::breakdown::Breakdown;
+use cr_core::params::{Strategy, SystemParams};
+
+use crate::engine::{run_engine, SimOptions, SimResult};
+use crate::par::par_map;
+
+/// Runs one simulation replica.
+pub fn simulate(
+    sys: &SystemParams,
+    strat: &Strategy,
+    opts: &SimOptions,
+) -> SimResult {
+    run_engine(sys, strat, opts)
+}
+
+/// Aggregate of several independent replicas.
+#[derive(Debug, Clone)]
+pub struct AveragedResult {
+    /// Sum of all replica breakdowns (ratios of this are the pooled
+    /// estimates).
+    pub pooled: Breakdown,
+    /// Per-replica progress rates.
+    pub progress_rates: Vec<f64>,
+    /// Per-replica results.
+    pub replicas: Vec<SimResult>,
+}
+
+impl AveragedResult {
+    /// Pooled progress-rate estimate (total compute over total wall).
+    pub fn progress_rate(&self) -> f64 {
+        self.pooled.progress_rate()
+    }
+
+    /// Mean of per-replica progress rates.
+    pub fn mean_progress(&self) -> f64 {
+        let n = self.progress_rates.len() as f64;
+        self.progress_rates.iter().sum::<f64>() / n
+    }
+
+    /// Standard error of the per-replica progress-rate mean.
+    pub fn sem_progress(&self) -> f64 {
+        let n = self.progress_rates.len();
+        if n < 2 {
+            return f64::NAN;
+        }
+        let mean = self.mean_progress();
+        let var = self
+            .progress_rates
+            .iter()
+            .map(|p| (p - mean) * (p - mean))
+            .sum::<f64>()
+            / (n as f64 - 1.0);
+        (var / n as f64).sqrt()
+    }
+
+    /// Pooled breakdown normalized to fractions of total time.
+    pub fn fractions(&self) -> Breakdown {
+        self.pooled.as_fractions()
+    }
+}
+
+/// Runs `replicas` independent simulations (seeds `base_seed..`) in
+/// parallel and pools the results.
+pub fn simulate_avg(
+    sys: &SystemParams,
+    strat: &Strategy,
+    opts: &SimOptions,
+    replicas: u64,
+) -> AveragedResult {
+    assert!(replicas >= 1);
+    let seeds: Vec<u64> =
+        (0..replicas).map(|i| opts.seed.wrapping_add(i)).collect();
+    let results = par_map(&seeds, |&seed| {
+        let opts = SimOptions { seed, ..*opts };
+        run_engine(sys, strat, &opts)
+    });
+    let mut pooled = Breakdown::zero();
+    let mut progress_rates = Vec::with_capacity(results.len());
+    for r in &results {
+        pooled += r.breakdown;
+        progress_rates.push(r.breakdown.progress_rate());
+    }
+    AveragedResult {
+        pooled,
+        progress_rates,
+        replicas: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::params::CompressionSpec;
+
+    fn sys() -> SystemParams {
+        SystemParams::exascale_default()
+    }
+
+    #[test]
+    fn averaging_tightens_estimates() {
+        let strat = Strategy::local_io_ndp(0.85, None);
+        let avg = simulate_avg(&sys(), &strat, &SimOptions::quick(100), 8);
+        assert_eq!(avg.replicas.len(), 8);
+        assert!(avg.sem_progress() < 0.01, "sem = {}", avg.sem_progress());
+        // Pooled and mean estimates agree closely.
+        assert!(
+            (avg.progress_rate() - avg.mean_progress()).abs() < 0.01
+        );
+    }
+
+    #[test]
+    fn pooled_breakdown_is_sum() {
+        let strat = Strategy::local_io_host(10, 0.5, None);
+        let avg = simulate_avg(&sys(), &strat, &SimOptions::quick(3), 4);
+        let manual: f64 =
+            avg.replicas.iter().map(|r| r.breakdown.total()).sum();
+        assert!((avg.pooled.total() - manual).abs() < 1e-6 * manual);
+    }
+
+    #[test]
+    fn sim_matches_analytic_on_ndp_compressed() {
+        // Cross-validation: DES vs Markov-renewal analytic model.
+        let strat =
+            Strategy::local_io_ndp(0.85, Some(CompressionSpec::gzip1_ndp()));
+        let avg = simulate_avg(&sys(), &strat, &SimOptions::standard(42), 8);
+        let analytic = cr_core::analytic::progress_rate(&sys(), &strat);
+        let simulated = avg.progress_rate();
+        assert!(
+            (simulated - analytic).abs() < 0.02,
+            "sim {simulated} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn sem_requires_two_replicas() {
+        let strat = Strategy::LocalOnly { interval: None };
+        let avg = simulate_avg(&sys(), &strat, &SimOptions::quick(5), 1);
+        assert!(avg.sem_progress().is_nan());
+    }
+}

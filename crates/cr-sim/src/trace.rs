@@ -1,0 +1,202 @@
+//! Timeline tracing: optional per-activity event capture for rendering
+//! Figure 3-style timelines (host lane, NDP lane, I/O durability
+//! marks).
+
+/// Which lane of the Figure 3 timeline a span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// The host processor (compute + commits + restores).
+    Host,
+    /// The NDP drain pipeline.
+    Ndp,
+}
+
+/// What happened during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Useful computation.
+    Compute,
+    /// Local NVM checkpoint commit.
+    CkptLocal,
+    /// Host-blocking global-I/O commit.
+    CkptIo,
+    /// Restore from local storage.
+    RestoreLocal,
+    /// Restore from global I/O.
+    RestoreIo,
+    /// NDP draining a checkpoint to global I/O.
+    Drain,
+}
+
+/// One traced interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpan {
+    /// Lane the span belongs to.
+    pub lane: Lane,
+    /// Activity kind.
+    pub kind: SpanKind,
+    /// Start time, seconds.
+    pub t0: f64,
+    /// End time, seconds.
+    pub t1: f64,
+    /// True if the activity was cut short by a failure.
+    pub interrupted: bool,
+}
+
+/// One instantaneous event (failures, drain completions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceMark {
+    /// Time, seconds.
+    pub t: f64,
+    /// Label.
+    pub kind: MarkKind,
+}
+
+/// Kinds of instantaneous marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkKind {
+    /// A failure struck.
+    Failure,
+    /// A checkpoint became durable on global I/O.
+    IoDurable,
+}
+
+/// Collected trace of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Activity spans, in emission order.
+    pub spans: Vec<TraceSpan>,
+    /// Instantaneous marks.
+    pub marks: Vec<TraceMark>,
+}
+
+impl Trace {
+    /// Renders an ASCII timeline between `from` and `to` seconds with
+    /// `width` columns — the textual cousin of the paper's Figure 3.
+    pub fn render_ascii(&self, from: f64, to: f64, width: usize) -> String {
+        assert!(to > from && width >= 10);
+        let scale = width as f64 / (to - from);
+        let col = |t: f64| -> usize {
+            (((t - from) * scale) as usize).min(width - 1)
+        };
+        let mut host = vec![b' '; width];
+        let mut ndp = vec![b' '; width];
+        let mut marks_row = vec![b' '; width];
+
+        for s in &self.spans {
+            if s.t1 < from || s.t0 > to {
+                continue;
+            }
+            let (a, b) = (col(s.t0.max(from)), col(s.t1.min(to)));
+            let ch = match s.kind {
+                SpanKind::Compute => b'=',
+                SpanKind::CkptLocal => b'L',
+                SpanKind::CkptIo => b'W',
+                SpanKind::RestoreLocal => b'r',
+                SpanKind::RestoreIo => b'R',
+                SpanKind::Drain => b'd',
+            };
+            let row = match s.lane {
+                Lane::Host => &mut host,
+                Lane::Ndp => &mut ndp,
+            };
+            for c in row.iter_mut().take(b + 1).skip(a) {
+                *c = ch;
+            }
+        }
+        for m in &self.marks {
+            if m.t < from || m.t > to {
+                continue;
+            }
+            marks_row[col(m.t)] = match m.kind {
+                MarkKind::Failure => b'X',
+                MarkKind::IoDurable => b'^',
+            };
+        }
+
+        let legend = "legend: = compute | L local ckpt | W host I/O write | \
+                      r/R restore local/IO | d NDP drain | X failure | ^ I/O durable";
+        format!(
+            "HOST |{}|\nNDP  |{}|\n     |{}|\n{}\n",
+            String::from_utf8_lossy(&host),
+            String::from_utf8_lossy(&ndp),
+            String::from_utf8_lossy(&marks_row),
+            legend
+        )
+    }
+
+    /// Total traced span time per kind, seconds.
+    pub fn time_in(&self, kind: SpanKind) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.t1 - s.t0)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                TraceSpan {
+                    lane: Lane::Host,
+                    kind: SpanKind::Compute,
+                    t0: 0.0,
+                    t1: 100.0,
+                    interrupted: false,
+                },
+                TraceSpan {
+                    lane: Lane::Host,
+                    kind: SpanKind::CkptLocal,
+                    t0: 100.0,
+                    t1: 110.0,
+                    interrupted: false,
+                },
+                TraceSpan {
+                    lane: Lane::Ndp,
+                    kind: SpanKind::Drain,
+                    t0: 20.0,
+                    t1: 90.0,
+                    interrupted: false,
+                },
+            ],
+            marks: vec![TraceMark {
+                t: 50.0,
+                kind: MarkKind::Failure,
+            }],
+        }
+    }
+
+    #[test]
+    fn ascii_render_contains_lanes_and_marks() {
+        let s = sample().render_ascii(0.0, 120.0, 60);
+        assert!(s.contains("HOST |"));
+        assert!(s.contains("NDP  |"));
+        assert!(s.contains('='));
+        assert!(s.contains('L'));
+        assert!(s.contains('d'));
+        assert!(s.contains('X'));
+        assert!(s.contains("legend"));
+    }
+
+    #[test]
+    fn time_accounting() {
+        let t = sample();
+        assert_eq!(t.time_in(SpanKind::Compute), 100.0);
+        assert_eq!(t.time_in(SpanKind::CkptLocal), 10.0);
+        assert_eq!(t.time_in(SpanKind::Drain), 70.0);
+        assert_eq!(t.time_in(SpanKind::CkptIo), 0.0);
+    }
+
+    #[test]
+    fn out_of_window_spans_are_clipped() {
+        let s = sample().render_ascii(200.0, 300.0, 40);
+        // Nothing in window: lanes blank.
+        let host_line = s.lines().next().unwrap();
+        assert!(!host_line.contains('='));
+    }
+}

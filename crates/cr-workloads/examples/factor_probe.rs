@@ -1,0 +1,20 @@
+//! Calibration probe: gz(1)/lzf compression factors of every synthetic
+//! mini-app image against the paper's Table 2 targets. Used to tune the
+//! workload recipes in `src/apps.rs`.
+
+use cr_compress::{measure::measure, registry::study_codecs};
+use cr_workloads::{all_mini_apps, CheckpointGenerator};
+
+fn main() {
+    let paper_gz1 = [0.842, 0.884, 0.715, 0.570, 0.350, 0.843, 0.891];
+    let codecs = study_codecs();
+    println!("{:10} {:>8} {:>8} | gz1 paper", "app", "gz(1)", "lzf");
+    for (app, target) in all_mini_apps().iter().zip(paper_gz1) {
+        let img = app.generate(6 << 20, 123);
+        let mgz = measure(codecs[0].as_ref(), &img);
+        let mlz = measure(codecs[6].as_ref(), &img);
+        println!("{:10} {:7.1}% {:7.1}% | {:5.1}%  (gz speed {:.0} MB/s, lzf {:.0} MB/s)",
+            app.name(), mgz.factor*100.0, mlz.factor*100.0, target*100.0,
+            mgz.compress_rate/1e6, mlz.compress_rate/1e6);
+    }
+}

@@ -1,0 +1,287 @@
+//! The seven Mantevo-style mini-app checkpoint generators.
+//!
+//! Each app is a *recipe*: a weighted mix of content classes from
+//! [`crate::components`], laid out in allocation-sized chunks the way a
+//! process heap interleaves its arrays. The weights and quantizations
+//! are calibrated so the gzip-family compression factors reproduce the
+//! per-app ordering of Table 2 of the paper (see the `table2`
+//! integration test and EXPERIMENTS.md for measured values).
+
+use crate::components::{
+    component_rng, gaussian_values, lattice_positions, metadata_page,
+    random_bytes, smooth_field, stencil_indices, zero_region,
+};
+use crate::CheckpointGenerator;
+
+/// One content class with its quantization/shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub enum Component {
+    /// Untouched / zero-initialized memory.
+    Zeros,
+    /// Particle positions near a lattice; retained mantissa bits.
+    Lattice(u32),
+    /// Smooth solution field; retained mantissa bits.
+    Smooth(u32),
+    /// Mesh connectivity indices over a fixed stencil.
+    Stencil(&'static [i32]),
+    /// Gaussian-distributed values; retained mantissa bits.
+    Gaussian(u32),
+    /// Fully random (turbulent) state.
+    Random,
+}
+
+impl Component {
+    /// Appends roughly `bytes` of this class (rounded down to whole
+    /// elements, at least one element).
+    fn emit(
+        &self,
+        out: &mut Vec<u8>,
+        bytes: usize,
+        seed: u64,
+        salt: u64,
+    ) {
+        let mut rng = component_rng(seed, salt);
+        match *self {
+            Component::Zeros => zero_region(out, bytes),
+            Component::Lattice(q) => {
+                lattice_positions(out, (bytes / 24).max(1), q, &mut rng)
+            }
+            Component::Smooth(q) => {
+                smooth_field(out, (bytes / 8).max(1), q, &mut rng)
+            }
+            Component::Stencil(s) => {
+                stencil_indices(out, (bytes / 4).max(1), s)
+            }
+            Component::Gaussian(q) => {
+                gaussian_values(out, (bytes / 8).max(1), q, &mut rng)
+            }
+            Component::Random => random_bytes(out, bytes, &mut rng),
+        }
+    }
+}
+
+/// 27-point stencil offsets for a 30³ structured grid.
+const STENCIL_27: &[i32] = &[
+    -931, -930, -929, -901, -900, -899, -871, -870, -869, -31, -30, -29,
+    -1, 0, 1, 29, 30, 31, 869, 870, 871, 899, 900, 901, 929, 930, 931,
+];
+/// 5-point stencil for a 2-D structured grid.
+const STENCIL_5: &[i32] = &[-512, -1, 0, 1, 512];
+/// Unstructured-ish face list (small irregular offsets).
+const STENCIL_FACES: &[i32] = &[-97, -13, -7, 0, 7, 13, 97, 3, -3, 41];
+
+/// A mini-app generator: name plus weighted recipe.
+#[derive(Debug, Clone)]
+pub struct MiniApp {
+    name: &'static str,
+    recipe: &'static [(u32, Component)],
+}
+
+/// Heap-allocation granularity: components are interleaved in chunks of
+/// this many bytes per weight unit.
+const CHUNK_PER_WEIGHT: usize = 64 * 1024;
+
+impl CheckpointGenerator for MiniApp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn generate(&self, bytes: usize, seed: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bytes + (64 << 10));
+        metadata_page(&mut out, seed, 0);
+        let mut round = 0u64;
+        while out.len() < bytes {
+            for (i, (weight, comp)) in self.recipe.iter().enumerate() {
+                if out.len() >= bytes {
+                    break;
+                }
+                let want = (*weight as usize * CHUNK_PER_WEIGHT)
+                    .min(bytes - out.len() + 32);
+                let salt = round
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(i as u64);
+                comp.emit(&mut out, want, seed, salt);
+            }
+            round += 1;
+        }
+        out.truncate(bytes);
+        out
+    }
+}
+
+/// All seven mini-apps in the row order of Table 2.
+pub fn all_mini_apps() -> Vec<MiniApp> {
+    vec![
+        // CoMD: classical MD. Lattice positions + low-precision
+        // velocities + ghost-cell zero regions -> highly compressible
+        // (gzip ~84%).
+        MiniApp {
+            name: "CoMD",
+            recipe: &[
+                (5, Component::Zeros),
+                (6, Component::Lattice(10)),
+                (4, Component::Gaussian(8)),
+                (1, Component::Stencil(STENCIL_27)),
+            ],
+        },
+        // HPCCG: conjugate gradient on a 27-pt stencil. Smooth vectors,
+        // very regular sparse structure, big zero halos (gzip ~88%).
+        MiniApp {
+            name: "HPCCG",
+            recipe: &[
+                (6, Component::Zeros),
+                (5, Component::Smooth(6)),
+                (4, Component::Stencil(STENCIL_27)),
+                (1, Component::Gaussian(16)),
+            ],
+        },
+        // miniFE: implicit FE. Like HPCCG but with more full-precision
+        // matrix coefficients (gzip ~71%).
+        MiniApp {
+            name: "miniFE",
+            recipe: &[
+                (3, Component::Zeros),
+                (4, Component::Smooth(14)),
+                (3, Component::Stencil(STENCIL_27)),
+                (3, Component::Gaussian(28)),
+            ],
+        },
+        // miniMD: LJ molecular dynamics; higher-entropy positions and
+        // velocities (gzip ~57%).
+        MiniApp {
+            name: "miniMD",
+            recipe: &[
+                (2, Component::Zeros),
+                (5, Component::Lattice(22)),
+                (4, Component::Gaussian(18)),
+                (1, Component::Random),
+            ],
+        },
+        // miniSMAC2D: turbulent incompressible flow; mostly
+        // full-precision fields (gzip ~35%).
+        MiniApp {
+            name: "miniSmac",
+            recipe: &[
+                (1, Component::Zeros),
+                (3, Component::Smooth(28)),
+                (2, Component::Stencil(STENCIL_5)),
+                (8, Component::Gaussian(40)),
+                (1, Component::Random),
+            ],
+        },
+        // miniAero: unstructured RK4 aero solver; small checkpoint,
+        // compressible fields (gzip ~84%).
+        MiniApp {
+            name: "miniAero",
+            recipe: &[
+                (5, Component::Zeros),
+                (5, Component::Smooth(8)),
+                (3, Component::Stencil(STENCIL_FACES)),
+                (1, Component::Gaussian(10)),
+            ],
+        },
+        // pHPCCG: HPCCG variant (gzip ~89%).
+        MiniApp {
+            name: "pHPCCG",
+            recipe: &[
+                (7, Component::Zeros),
+                (5, Component::Smooth(6)),
+                (4, Component::Stencil(STENCIL_27)),
+                (1, Component::Gaussian(10)),
+            ],
+        },
+    ]
+}
+
+/// Looks up a mini-app generator by its Table 2 name.
+pub fn by_name(name: &str) -> Option<MiniApp> {
+    all_mini_apps().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_apps_with_table2_names() {
+        let apps = all_mini_apps();
+        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "CoMD", "HPCCG", "miniFE", "miniMD", "miniSmac",
+                "miniAero", "pHPCCG"
+            ]
+        );
+    }
+
+    #[test]
+    fn exact_size_and_determinism() {
+        for app in all_mini_apps() {
+            let a = app.generate(1 << 20, 7);
+            let b = app.generate(1 << 20, 7);
+            assert_eq!(a.len(), 1 << 20, "{}", app.name());
+            assert_eq!(a, b, "{} not deterministic", app.name());
+            let c = app.generate(1 << 20, 8);
+            assert_ne!(a, c, "{} ignores seed", app.name());
+        }
+    }
+
+    #[test]
+    fn ranks_differ() {
+        let app = by_name("CoMD").unwrap();
+        let r0 = app.generate_rank(1 << 18, 1, 0);
+        let r1 = app.generate_rank(1 << 18, 1, 1);
+        assert_ne!(r0, r1);
+        assert_eq!(r0.len(), r1.len());
+    }
+
+    #[test]
+    fn tiny_images_work() {
+        for app in all_mini_apps() {
+            for size in [1usize, 100, 4096, 5000] {
+                let img = app.generate(size, 3);
+                assert_eq!(img.len(), size, "{} size {size}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("HPCCG").is_some());
+        assert!(by_name("LAMMPS").is_none());
+    }
+
+    #[test]
+    fn images_start_with_metadata() {
+        let img = by_name("miniFE").unwrap().generate(1 << 16, 5);
+        assert_eq!(&img[0..8], b"BLCRMETA");
+    }
+
+    #[test]
+    fn compressibility_ordering_matches_table2() {
+        // The key property: with the gz(1) codec, HPCCG-family apps
+        // compress best, miniSmac worst, miniMD in between.
+        use cr_compress::registry::by_name as codec;
+        let gz = codec("gz", 1).unwrap();
+        let factor = |app: &str| {
+            let img = by_name(app).unwrap().generate(3 << 20, 11);
+            let c = gz.compress_to_vec(&img);
+            1.0 - c.len() as f64 / img.len() as f64
+        };
+        let hpccg = factor("HPCCG");
+        let comd = factor("CoMD");
+        let minife = factor("miniFE");
+        let minimd = factor("miniMD");
+        let minismac = factor("miniSmac");
+        assert!(
+            hpccg > minife && minife > minimd && minimd > minismac,
+            "ordering violated: HPCCG {hpccg:.2} miniFE {minife:.2} \
+             miniMD {minimd:.2} miniSmac {minismac:.2}"
+        );
+        assert!(comd > minife, "CoMD {comd:.2} <= miniFE {minife:.2}");
+        // Absolute bands (loose): top apps > 75%, miniSmac < 50%.
+        assert!(hpccg > 0.75, "HPCCG factor {hpccg}");
+        assert!(minismac < 0.50, "miniSmac factor {minismac}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Building blocks for synthetic checkpoint images.
+//!
+//! A process checkpoint is a memory image; its compressibility comes from
+//! identifiable content classes. Each function here emits one class into
+//! a byte buffer:
+//!
+//! * [`zero_region`] — untouched/zeroed allocations (maximally
+//!   compressible).
+//! * [`lattice_positions`] — particle coordinates near a regular lattice
+//!   with jitter of limited precision (high bytes shared, low mantissa
+//!   bytes zeroed).
+//! * [`smooth_field`] — PDE solution arrays: smooth functions sampled on
+//!   a grid, quantized mantissa.
+//! * [`stencil_indices`] — mesh connectivity: int32 indices with regular
+//!   strides.
+//! * [`gaussian_values`] — thermal velocities etc. with configurable
+//!   retained precision.
+//! * [`random_bytes`] — fully turbulent state (incompressible).
+//!
+//! `quant_bits` throughout is the number of *retained* f64 mantissa bits
+//! (0–52): lower values zero more trailing bytes and compress better,
+//! emulating fields whose physical precision is far below f64 epsilon.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG for a component, decorrelated from other components
+/// of the same image by `salt`.
+pub fn component_rng(seed: u64, salt: u64) -> ChaCha8Rng {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 31;
+    ChaCha8Rng::seed_from_u64(z)
+}
+
+/// Masks an f64 to keep only the top `quant_bits` mantissa bits.
+#[inline]
+pub fn quantize(x: f64, quant_bits: u32) -> f64 {
+    debug_assert!(quant_bits <= 52);
+    let mask = !((1u64 << (52 - quant_bits)) - 1);
+    f64::from_bits(x.to_bits() & mask)
+}
+
+/// Appends `len` zero bytes.
+pub fn zero_region(out: &mut Vec<u8>, len: usize) {
+    out.resize(out.len() + len, 0);
+}
+
+/// Appends `len` incompressible random bytes.
+pub fn random_bytes(out: &mut Vec<u8>, len: usize, rng: &mut ChaCha8Rng) {
+    let start = out.len();
+    out.resize(start + len, 0);
+    rng.fill(&mut out[start..]);
+}
+
+/// Appends `n` f64 particle positions on a cubic lattice with quantized
+/// jitter: `pos = cell_index * spacing + jitter`, jitter magnitude ~10%
+/// of spacing, `quant_bits` retained.
+pub fn lattice_positions(
+    out: &mut Vec<u8>,
+    n: usize,
+    quant_bits: u32,
+    rng: &mut ChaCha8Rng,
+) {
+    let spacing = 1.0f64;
+    let side = (n as f64).powf(1.0 / 3.0).ceil() as usize;
+    let mut emitted = 0usize;
+    'outer: for i in 0..side {
+        for j in 0..side {
+            for k in 0..side {
+                if emitted >= n {
+                    break 'outer;
+                }
+                for idx in [i, j, k] {
+                    let jitter: f64 = (rng.gen::<f64>() - 0.5) * 0.1;
+                    let x = quantize(idx as f64 * spacing + jitter, quant_bits);
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                emitted += 1;
+            }
+        }
+    }
+}
+
+/// Appends `n` f64 samples of a smooth field (sum of low-frequency
+/// modes), quantized.
+pub fn smooth_field(
+    out: &mut Vec<u8>,
+    n: usize,
+    quant_bits: u32,
+    rng: &mut ChaCha8Rng,
+) {
+    let a1: f64 = rng.gen_range(0.5..2.0);
+    let a2: f64 = rng.gen_range(0.1..0.5);
+    let f1: f64 = rng.gen_range(0.001..0.01);
+    let f2: f64 = rng.gen_range(0.01..0.05);
+    for i in 0..n {
+        let t = i as f64;
+        let v = a1 * (f1 * t).sin() + a2 * (f2 * t).cos();
+        out.extend_from_slice(&quantize(v, quant_bits).to_le_bytes());
+    }
+}
+
+/// Appends `n` int32 mesh-connectivity indices: a regular stencil walk
+/// (`base + fixed offsets`), highly repetitive.
+pub fn stencil_indices(out: &mut Vec<u8>, n: usize, stencil: &[i32]) {
+    assert!(!stencil.is_empty());
+    let mut base = 0i32;
+    for i in 0..n {
+        let off = stencil[i % stencil.len()];
+        let idx = base.wrapping_add(off);
+        out.extend_from_slice(&idx.to_le_bytes());
+        if i % stencil.len() == stencil.len() - 1 {
+            base = base.wrapping_add(1);
+        }
+    }
+}
+
+/// Appends `n` f64 Gaussian values (Box–Muller) with quantized mantissa.
+pub fn gaussian_values(
+    out: &mut Vec<u8>,
+    n: usize,
+    quant_bits: u32,
+    rng: &mut ChaCha8Rng,
+) {
+    let mut i = 0;
+    while i < n {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+        for v in [r * c, r * s] {
+            if i >= n {
+                break;
+            }
+            out.extend_from_slice(&quantize(v, quant_bits).to_le_bytes());
+            i += 1;
+        }
+    }
+}
+
+/// Appends a BLCR-like metadata page: process/rank/checkpoint ids and
+/// padding (§4.2.1 of the paper describes this metadata).
+pub fn metadata_page(out: &mut Vec<u8>, seed: u64, page: usize) {
+    let start = out.len();
+    out.extend_from_slice(b"BLCRMETA");
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend_from_slice(&(seed >> 32).to_le_bytes());
+    out.extend_from_slice(&(page as u64).to_le_bytes());
+    // Pad to one 4 KiB page.
+    out.resize(start + 4096, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_keeps_top_bits_only() {
+        let x = std::f64::consts::PI;
+        let q = quantize(x, 12);
+        assert!((q - x).abs() < 1e-3);
+        // Trailing 40 mantissa bits are zero.
+        assert_eq!(q.to_bits() & ((1u64 << 40) - 1), 0);
+        // Full precision is the identity.
+        assert_eq!(quantize(x, 52), x);
+    }
+
+    #[test]
+    fn zero_region_is_zeroed() {
+        let mut v = vec![1u8];
+        zero_region(&mut v, 100);
+        assert_eq!(v.len(), 101);
+        assert!(v[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn components_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        lattice_positions(&mut a, 500, 20, &mut component_rng(9, 1));
+        lattice_positions(&mut b, 500, 20, &mut component_rng(9, 1));
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        lattice_positions(&mut c, 500, 20, &mut component_rng(10, 1));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn component_sizes_are_exact() {
+        let mut v = Vec::new();
+        lattice_positions(&mut v, 123, 16, &mut component_rng(1, 2));
+        assert_eq!(v.len(), 123 * 24); // 3 coords x 8 bytes
+        let mut v = Vec::new();
+        smooth_field(&mut v, 77, 10, &mut component_rng(1, 3));
+        assert_eq!(v.len(), 77 * 8);
+        let mut v = Vec::new();
+        stencil_indices(&mut v, 55, &[-1, 0, 1]);
+        assert_eq!(v.len(), 55 * 4);
+        let mut v = Vec::new();
+        gaussian_values(&mut v, 33, 20, &mut component_rng(1, 4));
+        assert_eq!(v.len(), 33 * 8);
+        let mut v = Vec::new();
+        metadata_page(&mut v, 7, 0);
+        assert_eq!(v.len(), 4096);
+    }
+
+    #[test]
+    fn quantized_fields_have_zero_tail_bytes() {
+        let mut v = Vec::new();
+        smooth_field(&mut v, 1000, 12, &mut component_rng(5, 6));
+        // With 12 retained mantissa bits, the low 5 bytes of each f64
+        // are zero.
+        let zero_frac = v.iter().filter(|&&b| b == 0).count() as f64
+            / v.len() as f64;
+        assert!(zero_frac > 0.55, "zero fraction {zero_frac}");
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut v = Vec::new();
+        gaussian_values(&mut v, 20_000, 52, &mut component_rng(2, 7));
+        let vals: Vec<f64> = v
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / vals.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn stencil_indices_repeat() {
+        let mut v = Vec::new();
+        stencil_indices(&mut v, 1000, &[-10, -1, 0, 1, 10]);
+        // The byte stream has period-ish structure: count distinct
+        // 4-byte words, must be far below 1000.
+        let mut words: Vec<[u8; 4]> = v
+            .chunks_exact(4)
+            .map(|c| c.try_into().unwrap())
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        assert!(words.len() < 300, "distinct words {}", words.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! # cr-workloads — synthetic checkpoint images of the Mantevo mini-apps
+//!
+//! The paper's compression study (§5.1.1) collects BLCR/OpenMPI
+//! checkpoints of seven Mantevo mini-apps. Those checkpoints are process
+//! memory images: solution arrays, particle data, mesh connectivity,
+//! untouched heap pages. This crate generates synthetic images with the
+//! same *kinds* of content, with per-app mixes tuned so each app's
+//! relative compressibility reproduces the ordering of Table 2 (CoMD,
+//! HPCCG, pHPCCG and miniAero highly compressible; miniFE intermediate;
+//! miniMD lower; miniSMAC2D lowest).
+//!
+//! Images are deterministic in `(app, seed, bytes)`; MPI-rank variants
+//! derive distinct seeds (§5.1.1 runs 16 ranks per app).
+//!
+//! ```
+//! use cr_workloads::{by_name, CheckpointGenerator};
+//!
+//! let comd = by_name("CoMD").unwrap();
+//! let image = comd.generate(1 << 20, 42);
+//! assert_eq!(image.len(), 1 << 20);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod apps;
+pub mod components;
+
+pub use apps::{all_mini_apps, by_name, MiniApp};
+
+/// A deterministic generator of synthetic checkpoint images.
+pub trait CheckpointGenerator {
+    /// Application name as used in Table 2 (e.g. `"CoMD"`).
+    fn name(&self) -> &'static str;
+
+    /// Generates exactly `bytes` bytes of checkpoint image for `seed`.
+    fn generate(&self, bytes: usize, seed: u64) -> Vec<u8>;
+
+    /// Generates the image of one MPI rank: same app, rank-specific
+    /// seed (the paper checkpoints 16 ranks per app).
+    fn generate_rank(&self, bytes: usize, seed: u64, rank: u32) -> Vec<u8> {
+        self.generate(
+            bytes,
+            seed ^ (rank as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+        )
+    }
+}

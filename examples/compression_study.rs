@@ -1,0 +1,75 @@
+//! The §5 compression study on synthetic mini-app checkpoints: measures
+//! compression factor and speed for every codec family and derives the
+//! NDP sizing of §5.3 for the best candidate.
+//!
+//! ```sh
+//! cargo run --release --example compression_study           # 8 MiB images
+//! IMAGE_MB=32 cargo run --release --example compression_study
+//! ```
+
+use ndp_checkpoint::cr_compress::measure::measure;
+use ndp_checkpoint::cr_compress::registry::{study_codecs, study_paper_labels};
+use ndp_checkpoint::cr_core::ndp_sizing;
+use ndp_checkpoint::cr_core::params::SystemParams;
+use ndp_checkpoint::cr_workloads::{all_mini_apps, CheckpointGenerator};
+
+fn main() {
+    let image_mb: usize = std::env::var("IMAGE_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let codecs = study_codecs();
+    let labels = study_paper_labels();
+
+    println!("compression study on {image_mb} MiB synthetic images\n");
+    print!("{:10}", "app");
+    for (c, l) in codecs.iter().zip(labels) {
+        print!("  {:>16}", format!("{} [{}]", c.label(), l));
+    }
+    println!();
+
+    let mut sums = vec![(0.0f64, 0.0f64); codecs.len()];
+    for app in all_mini_apps() {
+        let image = app.generate(image_mb << 20, 2024);
+        print!("{:10}", app.name());
+        for (i, codec) in codecs.iter().enumerate() {
+            let m = measure(codec.as_ref(), &image);
+            sums[i].0 += m.factor;
+            sums[i].1 += m.compress_rate;
+            print!(
+                "  {:>7.1}% {:>6.1}M",
+                m.factor * 100.0,
+                m.compress_rate / 1e6
+            );
+        }
+        println!();
+    }
+    let n = all_mini_apps().len() as f64;
+    print!("{:10}", "average");
+    for (f, s) in &sums {
+        print!("  {:>7.1}% {:>6.1}M", f / n * 100.0, s / n / 1e6);
+    }
+    println!("\n");
+
+    // Size the NDP for each candidate, as Sec. 5.3 does.
+    let sys = SystemParams::exascale_default();
+    println!(
+        "{:18} {:>15} {:>10} {:>15}",
+        "candidate", "required rate", "NDP cores", "ckpt interval"
+    );
+    for ((f, s), label) in sums.iter().zip(labels) {
+        let sizing = ndp_sizing::size_ndp(&sys, (f / n).clamp(0.0, 0.99), s / n);
+        println!(
+            "{:18} {:>12.0} MB/s {:>10} {:>13.0} s",
+            label,
+            sizing.required_rate / 1e6,
+            sizing.cores,
+            sizing.min_interval
+        );
+    }
+    println!(
+        "\nThe paper picks gzip(1): 4 NDP cores reach the ~370 MB/s that \
+         saturates the per-node I/O share, enabling a ~305 s checkpoint \
+         interval to global I/O."
+    );
+}

@@ -1,0 +1,72 @@
+//! Tuning multilevel checkpointing for a custom system: explores the
+//! locally-saved : I/O-saved checkpoint ratio (§6.2 / Figure 4) and
+//! reports the optimum, for both a host-driven and an NDP-offloaded
+//! deployment.
+//!
+//! ```sh
+//! cargo run --release --example multilevel_tuning -- 60 64 8 0.2
+//! #  args: MTTI_minutes  ckpt_GB  nvm_GBps  io_GBps_per_node (all optional)
+//! ```
+
+use ndp_checkpoint::prelude::*;
+
+fn arg(n: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let sys = SystemParams {
+        mtti: arg(1, 30.0) * MINUTE,
+        checkpoint_bytes: arg(2, 112.0) * GB,
+        local_bw: arg(3, 15.0) * GB,
+        io_bw_per_node: arg(4, 0.1) * GB,
+    };
+    let p_local = 0.85;
+    println!(
+        "system: MTTI {}, checkpoint {}, NVM {}, I/O {} per node\n",
+        fmt_secs(sys.mtti),
+        fmt_bytes(sys.checkpoint_bytes),
+        fmt_rate(sys.local_bw),
+        fmt_rate(sys.io_bw_per_node)
+    );
+
+    println!("host-driven I/O commits: sweeping the ratio");
+    println!("{:>6} {:>10} {:>10} {:>10}", "ratio", "ckpt", "rerun", "progress");
+    let sweep =
+        cr_core::ratio_opt::host_overhead_sweep(&sys, p_local, None, 64);
+    for (ratio, b) in sweep.iter().step_by(4) {
+        let f = b.as_fractions();
+        println!(
+            "{:>6} {:>9.1}% {:>9.1}% {:>9.1}%",
+            ratio,
+            f.checkpoint() * 100.0,
+            f.rerun() * 100.0,
+            b.progress_rate() * 100.0
+        );
+    }
+    let (best_ratio, best_p) =
+        cr_core::ratio_opt::best_host_ratio(&sys, p_local, None);
+    println!("-> optimum ratio {best_ratio}: progress {:.1}%\n", best_p * 100.0);
+
+    let ndp = Strategy::local_io_ndp(p_local, None);
+    let d = cr_core::params::derive_costs(&sys, &ndp);
+    let p_ndp = analytic::progress_rate(&sys, &ndp);
+    println!(
+        "NDP offload: drains every {}th checkpoint (drain takes {}), progress {:.1}%",
+        d.ratio,
+        fmt_secs(d.ndp_drain_time),
+        p_ndp * 100.0
+    );
+    let ndp_c = Strategy::local_io_ndp(p_local, Some(CompressionSpec::gzip1_ndp()));
+    let dc = cr_core::params::derive_costs(&sys, &ndp_c);
+    let p_ndp_c = analytic::progress_rate(&sys, &ndp_c);
+    println!(
+        "NDP + gzip(1): drains every {}th checkpoint (drain takes {}), progress {:.1}%",
+        dc.ratio,
+        fmt_secs(dc.ndp_drain_time),
+        p_ndp_c * 100.0
+    );
+}

@@ -1,0 +1,42 @@
+//! Sensitivity sweep (§6.5): progress rate across MTTI × checkpoint-size
+//! grids for host-driven and NDP-offloaded multilevel checkpointing.
+//! Emits CSV suitable for plotting.
+//!
+//! ```sh
+//! cargo run --release --example sensitivity_sweep > sweep.csv
+//! ```
+
+use ndp_checkpoint::prelude::*;
+
+fn main() {
+    let p_local = 0.85;
+    let host_c = CompressionSpec::gzip1_host_with_factor(0.73);
+    let ndp_c = CompressionSpec::gzip1_ndp_with_factor(0.73);
+
+    println!("mtti_min,ckpt_gb,host_comp,ndp,ndp_comp");
+    for mtti_min in [30.0, 60.0, 90.0, 120.0, 150.0] {
+        for ckpt_gb in [14.0, 56.0, 112.0] {
+            let sys = SystemParams::exascale_default()
+                .with_mtti(mtti_min * MINUTE)
+                .with_checkpoint_bytes(ckpt_gb * GB);
+            let host = cr_core::ratio_opt::best_host_strategy(
+                &sys,
+                p_local,
+                Some(host_c),
+            )
+            .0;
+            let ndp = Strategy::local_io_ndp(p_local, None);
+            let ndp_comp = Strategy::local_io_ndp(p_local, Some(ndp_c));
+            let eval = |s: &Strategy| {
+                simulate_avg(&sys, s, &SimOptions::standard(11), 4)
+                    .progress_rate()
+            };
+            println!(
+                "{mtti_min},{ckpt_gb},{:.4},{:.4},{:.4}",
+                eval(&host),
+                eval(&ndp),
+                eval(&ndp_comp)
+            );
+        }
+    }
+}

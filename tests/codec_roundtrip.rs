@@ -1,0 +1,155 @@
+//! Cross-crate codec integration: every codec must losslessly
+//! round-trip every mini-app's synthetic checkpoint images, including
+//! property-based tests over arbitrary inputs and adversarial
+//! containers.
+
+use ndp_checkpoint::cr_compress::registry::{by_name, study_codecs};
+use ndp_checkpoint::cr_workloads::{all_mini_apps, CheckpointGenerator};
+use proptest::prelude::*;
+
+#[test]
+fn every_codec_roundtrips_every_miniapp() {
+    for app in all_mini_apps() {
+        let image = app.generate(1 << 20, 99);
+        for codec in study_codecs() {
+            let compressed = codec.compress_to_vec(&image);
+            let restored = codec
+                .decompress_to_vec(&compressed)
+                .unwrap_or_else(|e| {
+                    panic!("{} on {}: {e}", codec.label(), app.name())
+                });
+            assert_eq!(
+                restored,
+                image,
+                "{} corrupted {}",
+                codec.label(),
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn compression_factors_follow_family_strength_on_compressible_data() {
+    // On a compressible image, the stronger families should not lose
+    // badly to the weaker ones: lzf <= gz(1) and gz(1) <= rz(6) + slack.
+    let image = all_mini_apps()[1].generate(2 << 20, 5); // HPCCG
+    let size = |name: &str, level: u32| {
+        by_name(name, level)
+            .unwrap()
+            .compress_to_vec(&image)
+            .len() as f64
+    };
+    let lzf = size("lzf", 1);
+    let gz1 = size("gz", 1);
+    let rz1 = size("rz", 1);
+    let bwz1 = size("bwz", 1);
+    assert!(gz1 < lzf, "gz(1) {gz1} must beat lzf {lzf}");
+    assert!(rz1 < gz1 * 1.05, "rz(1) {rz1} should rival gz(1) {gz1}");
+    assert!(bwz1 < lzf, "bwz(1) {bwz1} must beat lzf {lzf}");
+}
+
+#[test]
+fn codecs_reject_each_others_containers() {
+    let data = b"cross container test ".repeat(100);
+    let codecs = study_codecs();
+    for a in &codecs {
+        let compressed = a.compress_to_vec(&data);
+        for b in &codecs {
+            if a.name() == b.name() {
+                continue;
+            }
+            // Wrong-family decode must error (magic mismatch), never
+            // panic or return wrong data silently.
+            match b.decompress_to_vec(&compressed) {
+                Err(_) => {}
+                Ok(out) => panic!(
+                    "{} accepted {}'s container and returned {} bytes",
+                    b.label(),
+                    a.label(),
+                    out.len()
+                ),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_gz_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = by_name("gz", 3).unwrap();
+        let compressed = c.compress_to_vec(&data);
+        prop_assert_eq!(c.decompress_to_vec(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn prop_lzf_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = by_name("lzf", 1).unwrap();
+        let compressed = c.compress_to_vec(&data);
+        prop_assert_eq!(c.decompress_to_vec(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn prop_bwz_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
+        let c = by_name("bwz", 1).unwrap();
+        let compressed = c.compress_to_vec(&data);
+        prop_assert_eq!(c.decompress_to_vec(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn prop_rz_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
+        let c = by_name("rz", 1).unwrap();
+        let compressed = c.compress_to_vec(&data);
+        prop_assert_eq!(c.decompress_to_vec(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn prop_roundtrips_structured_runs(
+        runs in proptest::collection::vec((any::<u8>(), 1usize..500), 1..50)
+    ) {
+        // Run-length-structured data (checkpoint-like): all codecs.
+        let mut data = Vec::new();
+        for (byte, len) in runs {
+            data.extend(std::iter::repeat_n(byte, len));
+        }
+        for codec in study_codecs() {
+            let compressed = codec.compress_to_vec(&data);
+            prop_assert_eq!(
+                &codec.decompress_to_vec(&compressed).unwrap(),
+                &data,
+                "{} failed", codec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_truncated_streams_error_not_panic(
+        data in proptest::collection::vec(any::<u8>(), 100..2_000),
+        cut_frac in 0.0f64..0.99
+    ) {
+        for codec in study_codecs() {
+            let compressed = codec.compress_to_vec(&data);
+            let cut = ((compressed.len() as f64) * cut_frac) as usize;
+            // Either error or (rarely, for lucky prefixes) a wrong
+            // result — but never a panic.
+            let _ = codec.decompress_to_vec(&compressed[..cut]);
+        }
+    }
+
+    #[test]
+    fn prop_corrupted_streams_never_panic(
+        seed_data in proptest::collection::vec(any::<u8>(), 200..2_000),
+        flip_at in 0usize..1_000,
+        flip_mask in 1u8..=255
+    ) {
+        for codec in study_codecs() {
+            let mut compressed = codec.compress_to_vec(&seed_data);
+            if compressed.is_empty() { continue; }
+            let idx = flip_at % compressed.len();
+            compressed[idx] ^= flip_mask;
+            let _ = codec.decompress_to_vec(&compressed);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end tests of the §7 future-work NDP optimizations:
+//! incremental drains (diff consecutive checkpoints, ship only changed
+//! blocks) and their interaction with compression, failures and chain
+//! limits.
+
+use ndp_checkpoint::cr_node::incremental::DedupStore;
+use ndp_checkpoint::cr_node::ndp::IncrementalPolicy;
+use ndp_checkpoint::cr_node::node::{
+    ComputeNode, FailureKind, NodeConfig, NodeError, RestoreSource,
+};
+use ndp_checkpoint::cr_workloads::{by_name, CheckpointGenerator};
+
+fn incr_cfg(max_chain: u32) -> NodeConfig {
+    NodeConfig {
+        drain_ratio: 1,
+        incremental: Some(IncrementalPolicy {
+            max_chain,
+            diff_block: 16 << 10,
+        }),
+        block_size: 64 << 10,
+        ..NodeConfig::small_test()
+    }
+}
+
+/// Evolving application state: a base image with a slowly-moving dirty
+/// stripe, like an iterative solver touching a working set.
+fn evolve(state: &mut [u8], step: u64) {
+    let stripe = (step as usize * 30_000) % state.len();
+    let end = (stripe + 20_000).min(state.len());
+    for b in &mut state[stripe..end] {
+        *b = b.wrapping_add(13);
+    }
+}
+
+#[test]
+fn incremental_drains_ship_far_fewer_bytes() {
+    let bytes = 4 << 20;
+    let image = by_name("HPCCG").unwrap().generate(bytes, 10);
+
+    let run = |incremental: bool| -> (u64, u64) {
+        let mut cfg = if incremental {
+            incr_cfg(100)
+        } else {
+            NodeConfig {
+                drain_ratio: 1,
+                ..NodeConfig::small_test()
+            }
+        };
+        cfg.codec = None; // isolate the dedup effect from compression
+        let mut node = ComputeNode::new(cfg);
+        node.register_app("a");
+        let mut state = image.clone();
+        for step in 1..=10 {
+            evolve(&mut state, step);
+            node.checkpoint("a", &state).unwrap();
+            node.drain_all().unwrap();
+        }
+        (node.io().bytes_written, node.ndp_stats().incremental_drains)
+    };
+
+    let (full_bytes, full_incr) = run(false);
+    let (incr_bytes, incr_count) = run(true);
+    assert_eq!(full_incr, 0);
+    assert_eq!(incr_count, 9, "after the first full, all are deltas");
+    assert!(
+        incr_bytes < full_bytes / 5,
+        "deltas should slash shipped bytes: {incr_bytes} vs {full_bytes}"
+    );
+}
+
+#[test]
+fn restore_walks_the_delta_chain_byte_exactly() {
+    let bytes = 2 << 20;
+    let mut node = ComputeNode::new(incr_cfg(100));
+    node.register_app("a");
+    let mut state = by_name("miniFE").unwrap().generate(bytes, 3);
+    let mut final_state = state.clone();
+    for step in 1..=7 {
+        evolve(&mut state, step * 31);
+        node.checkpoint("a", &state).unwrap();
+        node.drain_all().unwrap();
+        final_state = state.clone();
+    }
+    assert!(node.ndp_stats().incremental_drains >= 6);
+    node.inject_failure(FailureKind::NodeLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::RemoteIo);
+    assert_eq!(r.data, final_state, "chain reconstruction must be exact");
+}
+
+#[test]
+fn chain_limit_forces_periodic_full_images() {
+    let bytes = 1 << 20;
+    let mut node = ComputeNode::new(incr_cfg(3));
+    node.register_app("a");
+    let mut state = by_name("CoMD").unwrap().generate(bytes, 4);
+    for step in 1..=9 {
+        evolve(&mut state, step * 7);
+        node.checkpoint("a", &state).unwrap();
+        node.drain_all().unwrap();
+    }
+    // Drains: full, d, d, d, full, d, d, d, full -> 6 deltas.
+    assert_eq!(node.ndp_stats().incremental_drains, 6);
+    node.inject_failure(FailureKind::NodeLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.data, state);
+}
+
+#[test]
+fn node_loss_resets_the_diff_base() {
+    let bytes = 1 << 20;
+    let mut node = ComputeNode::new(incr_cfg(100));
+    node.register_app("a");
+    let mut state = by_name("miniMD").unwrap().generate(bytes, 5);
+    node.checkpoint("a", &state).unwrap();
+    node.drain_all().unwrap();
+    evolve(&mut state, 1);
+    node.checkpoint("a", &state).unwrap();
+    node.drain_all().unwrap();
+    assert_eq!(node.ndp_stats().incremental_drains, 1);
+
+    node.inject_failure(FailureKind::NodeLoss);
+    let _ = node.restore("a").unwrap();
+
+    // After node loss the encoder has no base: next drain must be full,
+    // and restore from it alone must work.
+    evolve(&mut state, 2);
+    // The restore rolled state back; continue from the restored point.
+    let mut post = node.restore("a").unwrap().data;
+    evolve(&mut post, 3);
+    node.checkpoint("a", &post).unwrap();
+    node.drain_all().unwrap();
+    assert_eq!(
+        node.ndp_stats().incremental_drains,
+        1,
+        "post-loss drain must be a full image"
+    );
+    node.inject_failure(FailureKind::NodeLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.data, post);
+}
+
+#[test]
+fn incremental_composes_with_compression() {
+    let bytes = 2 << 20;
+    let mut cfg = incr_cfg(100);
+    cfg.codec = Some(("gz", 1));
+    let mut node = ComputeNode::new(cfg);
+    node.register_app("a");
+    let mut state = by_name("pHPCCG").unwrap().generate(bytes, 6);
+    for step in 1..=5 {
+        evolve(&mut state, step * 11);
+        node.checkpoint("a", &state).unwrap();
+        node.drain_all().unwrap();
+    }
+    node.inject_failure(FailureKind::NodeLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.data, state);
+    // Compressed deltas: tiny on the wire.
+    let shipped = node.io().bytes_written;
+    assert!(
+        shipped < (bytes as u64) * 2,
+        "5 checkpoints shipped in {shipped} bytes"
+    );
+}
+
+#[test]
+fn per_rank_chains_are_independent() {
+    let bytes = 512 << 10;
+    let mut node = ComputeNode::new(incr_cfg(100));
+    node.register_app("a");
+    let gen = by_name("HPCCG").unwrap();
+    let mut states: Vec<Vec<u8>> =
+        (0..4).map(|r| gen.generate_rank(bytes, 9, r)).collect();
+    for round in 1..=3 {
+        for (rank, st) in states.iter_mut().enumerate() {
+            evolve(st, round * 17 + rank as u64);
+            node.checkpoint_rank("a", rank as u32, st).unwrap();
+        }
+        node.drain_all().unwrap();
+    }
+    node.inject_failure(FailureKind::NodeLoss);
+    for (rank, st) in states.iter().enumerate() {
+        let r = node.restore_rank("a", rank as u32).unwrap();
+        assert_eq!(&r.data, st, "rank {rank}");
+    }
+}
+
+#[test]
+fn missing_base_after_manual_tampering_is_detected() {
+    // If the chain is broken (base object missing), restore must error
+    // rather than return wrong data. Build chain, then kill before the
+    // NEXT full; simulate by asking for a rank that has only deltas —
+    // construct via two nodes sharing nothing.
+    let bytes = 256 << 10;
+    let mut node = ComputeNode::new(incr_cfg(2));
+    node.register_app("a");
+    let st = by_name("CoMD").unwrap().generate(bytes, 8);
+    node.checkpoint("a", &st).unwrap();
+    node.drain_all().unwrap();
+    // Normal restore works.
+    node.inject_failure(FailureKind::NodeLoss);
+    assert!(node.restore("a").is_ok());
+    // A bogus rank has nothing.
+    assert!(matches!(
+        node.restore_rank("a", 9).unwrap_err(),
+        NodeError::NoCheckpoint
+    ));
+}
+
+#[test]
+fn cross_rank_dedup_on_real_workloads() {
+    // §7's second opportunity: neighboring ranks share zero pages and
+    // common structures; a content-addressed store collapses them.
+    let gen = by_name("HPCCG").unwrap();
+    let mut store = DedupStore::new();
+    for rank in 0..8 {
+        let img = gen.generate_rank(512 << 10, 12, rank);
+        let recipe = store.ingest(&img, 4096);
+        assert_eq!(store.reassemble(&recipe).unwrap(), img);
+    }
+    // HPCCG images share the metadata page and zero regions at minimum.
+    assert!(
+        store.dedup_factor() > 0.1,
+        "cross-rank dedup factor = {}",
+        store.dedup_factor()
+    );
+}

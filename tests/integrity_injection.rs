@@ -1,0 +1,102 @@
+//! Bit-rot injection drills: corrupted checkpoints must be *detected*
+//! and skipped in favor of the next recovery level — never restored
+//! silently.
+
+use ndp_checkpoint::cr_node::node::{
+    ComputeNode, FailureKind, NodeConfig, NodeError, RestoreSource,
+};
+use ndp_checkpoint::cr_workloads::{by_name, CheckpointGenerator};
+
+fn cfg() -> NodeConfig {
+    NodeConfig {
+        drain_ratio: 1,
+        partner_ratio: 1,
+        ..NodeConfig::small_test()
+    }
+}
+
+fn image(step: u64) -> Vec<u8> {
+    by_name("CoMD").unwrap().generate(256 << 10, step)
+}
+
+#[test]
+fn corrupt_local_falls_through_to_partner() {
+    let mut node = ComputeNode::new(cfg());
+    node.register_app("a");
+    let img = image(1);
+    node.checkpoint("a", &img).unwrap();
+    assert!(node.tamper_local("a", 0));
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::Partner);
+    assert_eq!(r.data, img, "partner copy must be intact");
+    assert_eq!(node.corruptions_detected(), 1);
+}
+
+#[test]
+fn corrupt_local_falls_through_to_io_without_partner() {
+    let mut node = ComputeNode::new(NodeConfig {
+        partner_ratio: 0,
+        ..cfg()
+    });
+    node.register_app("a");
+    let img = image(2);
+    node.checkpoint("a", &img).unwrap();
+    node.drain_all().unwrap();
+    assert!(node.tamper_local("a", 0));
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::RemoteIo);
+    assert_eq!(r.data, img);
+    assert_eq!(node.corruptions_detected(), 1);
+}
+
+#[test]
+fn corrupt_remote_object_is_an_error_not_wrong_data() {
+    let mut node = ComputeNode::new(NodeConfig {
+        partner_ratio: 0,
+        ..cfg()
+    });
+    node.register_app("a");
+    node.checkpoint("a", &image(3)).unwrap();
+    node.drain_all().unwrap();
+    assert!(node.tamper_remote("a", 0));
+    node.inject_failure(FailureKind::NodeLoss);
+    match node.restore("a") {
+        Err(NodeError::Corrupt) | Err(NodeError::Codec(_)) => {}
+        Ok(r) => panic!(
+            "restored {} bytes from a tampered object",
+            r.data.len()
+        ),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+    assert!(node.corruptions_detected() >= 1 || node.restore("a").is_err());
+}
+
+#[test]
+fn intact_paths_unaffected_by_integrity_machinery() {
+    let mut node = ComputeNode::new(cfg());
+    node.register_app("a");
+    let img = image(4);
+    node.checkpoint("a", &img).unwrap();
+    node.drain_all().unwrap();
+    for kind in [FailureKind::LocalSurvivable, FailureKind::NodeLoss] {
+        node.inject_failure(kind);
+        let r = node.restore("a").unwrap();
+        assert_eq!(r.data, img);
+    }
+    assert_eq!(node.corruptions_detected(), 0);
+}
+
+#[test]
+fn corruption_counter_accumulates() {
+    let mut node = ComputeNode::new(cfg());
+    node.register_app("a");
+    for step in 0..3 {
+        let img = image(10 + step);
+        node.checkpoint("a", &img).unwrap();
+        node.tamper_local("a", 0);
+        // Local corrupt -> partner serves.
+        let r = node.restore("a").unwrap();
+        assert_eq!(r.source, RestoreSource::Partner);
+    }
+    assert_eq!(node.corruptions_detected(), 3);
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over the model space: for arbitrary (sane)
+//! systems and strategies, both backends must produce valid, consistent
+//! results — no panics, no accounting leaks, sensible monotonicities.
+
+use ndp_checkpoint::prelude::*;
+use proptest::prelude::*;
+// Both preludes export a name `Strategy` (the C/R strategy enum and the
+// proptest trait); import both explicitly so neither glob is ambiguous.
+use ndp_checkpoint::cr_core::params::Strategy;
+use proptest::strategy::Strategy as PropStrategy;
+
+/// Strategy-space generator: a random but physically sensible system.
+fn arb_system() -> impl PropStrategy<Value = SystemParams> {
+    (
+        600.0f64..7200.0,          // MTTI: 10 min .. 2 h
+        10e9f64..200e9,            // checkpoint: 10..200 GB
+        1e9f64..30e9,              // NVM: 1..30 GB/s
+        20e6f64..500e6,            // I/O share: 20..500 MB/s
+    )
+        .prop_map(|(mtti, size, nvm, io)| SystemParams {
+            mtti,
+            checkpoint_bytes: size,
+            local_bw: nvm,
+            io_bw_per_node: io,
+        })
+}
+
+fn arb_host_strategy() -> impl PropStrategy<Value = Strategy> {
+    (1u32..60, 0.0f64..=1.0, proptest::option::of(0.2f64..0.9)).prop_map(
+        |(ratio, p_local, factor)| Strategy::LocalIoHost {
+            interval: Some(150.0),
+            ratio,
+            p_local,
+            compression: factor.map(CompressionSpec::gzip1_host_with_factor),
+        },
+    )
+}
+
+fn arb_ndp_strategy() -> impl PropStrategy<Value = Strategy> {
+    (0.0f64..=1.0, proptest::option::of(0.2f64..0.9)).prop_map(
+        |(p_local, factor)| Strategy::LocalIoNdp {
+            interval: Some(150.0),
+            ratio: None,
+            p_local,
+            compression: factor.map(CompressionSpec::gzip1_ndp_with_factor),
+            drain_lag: Default::default(),
+        },
+    )
+}
+
+fn quick_sim(sys: &SystemParams, strat: &Strategy, seed: u64) -> cr_sim::SimResult {
+    let opts = SimOptions {
+        seed,
+        min_failures: 250,
+        min_work: 0.0,
+        max_wall: 1e12,
+    };
+    cr_sim::simulate(sys, strat, &opts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn analytic_progress_is_valid_probability(
+        sys in arb_system(),
+        strat in arb_host_strategy()
+    ) {
+        let sol = cr_core::analytic::solve_cycle(&sys, &strat);
+        let p = sol.progress_rate();
+        prop_assert!(p > 0.0 && p <= 1.0, "progress {p}");
+        prop_assert!(sol.breakdown.validate().is_ok());
+        // Buckets partition the cycle.
+        prop_assert!(
+            (sol.breakdown.total() - sol.cycle_time).abs()
+                <= 1e-6 * sol.cycle_time
+        );
+    }
+
+    #[test]
+    fn simulator_accounting_never_leaks(
+        sys in arb_system(),
+        strat in arb_host_strategy(),
+        seed in 0u64..1000
+    ) {
+        let r = quick_sim(&sys, &strat, seed);
+        prop_assert!(r.breakdown.validate().is_ok());
+        prop_assert!(
+            (r.breakdown.total() - r.stats.wall_time).abs()
+                <= 1e-6 * r.stats.wall_time.max(1.0)
+        );
+        prop_assert!(
+            (r.breakdown.compute - r.stats.work_done).abs() < 1e-6
+        );
+        let p = r.breakdown.progress_rate();
+        prop_assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn simulator_is_deterministic(
+        sys in arb_system(),
+        strat in arb_ndp_strategy(),
+        seed in 0u64..1000
+    ) {
+        let a = quick_sim(&sys, &strat, seed);
+        let b = quick_sim(&sys, &strat, seed);
+        prop_assert_eq!(a.breakdown, b.breakdown);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn analytic_progress_monotone_in_mtti(
+        sys in arb_system(),
+        strat in arb_host_strategy()
+    ) {
+        let lo = cr_core::analytic::progress_rate(&sys, &strat);
+        let better = sys.with_mtti(sys.mtti * 2.0);
+        let hi = cr_core::analytic::progress_rate(&better, &strat);
+        prop_assert!(
+            hi >= lo - 1e-9,
+            "progress fell when failures halved: {lo} -> {hi}"
+        );
+    }
+
+    #[test]
+    fn analytic_progress_monotone_in_io_bandwidth(
+        sys in arb_system(),
+        strat in arb_host_strategy()
+    ) {
+        let lo = cr_core::analytic::progress_rate(&sys, &strat);
+        let better = SystemParams {
+            io_bw_per_node: sys.io_bw_per_node * 4.0,
+            ..sys
+        };
+        let hi = cr_core::analytic::progress_rate(&better, &strat);
+        prop_assert!(
+            hi >= lo - 1e-9,
+            "progress fell with faster I/O: {lo} -> {hi}"
+        );
+    }
+
+    #[test]
+    fn ndp_never_loses_to_host_at_same_settings(
+        sys in arb_system(),
+        p_local in 0.1f64..0.99,
+        factor in proptest::option::of(0.3f64..0.9)
+    ) {
+        let host = Strategy::LocalIoHost {
+            interval: Some(150.0),
+            ratio: cr_core::params::derive_costs(
+                &sys,
+                &Strategy::LocalIoNdp {
+                    interval: Some(150.0),
+                    ratio: None,
+                    p_local,
+                    compression: factor
+                        .map(CompressionSpec::gzip1_ndp_with_factor),
+                    drain_lag: Default::default(),
+                },
+            )
+            .ratio,
+            p_local,
+            compression: factor.map(CompressionSpec::gzip1_host_with_factor),
+        };
+        let ndp = Strategy::LocalIoNdp {
+            interval: Some(150.0),
+            ratio: None,
+            p_local,
+            compression: factor.map(CompressionSpec::gzip1_ndp_with_factor),
+            drain_lag: cr_core::params::DrainLagModel::Ignore,
+        };
+        // Same ratio, same compression: offloading the I/O write can
+        // only help (lag-free accounting).
+        let ph = cr_core::analytic::progress_rate(&sys, &host);
+        let pn = cr_core::analytic::progress_rate(&sys, &ndp);
+        prop_assert!(
+            pn >= ph - 1e-9,
+            "NDP {pn} lost to host {ph} at identical settings"
+        );
+    }
+
+    #[test]
+    fn sim_and_analytic_agree_loosely_on_host_configs(
+        sys in arb_system(),
+        ratio in 2u32..40,
+        p_local in 0.3f64..0.98
+    ) {
+        let strat = Strategy::local_io_host(ratio, p_local, None);
+        let a = cr_core::analytic::progress_rate(&sys, &strat);
+        let opts = SimOptions {
+            seed: 5,
+            min_failures: 800,
+            min_work: 0.0,
+            max_wall: 1e12,
+        };
+        let s = simulate_avg(&sys, &strat, &opts, 2).progress_rate();
+        prop_assert!(
+            (a - s).abs() < 0.08,
+            "analytic {a} vs sim {s} (ratio {ratio}, p {p_local})"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! The paper's qualitative claims, asserted against the reproduction
+//! harness at reduced fidelity (these are the statements EXPERIMENTS.md
+//! tracks quantitatively).
+
+use cr_bench_shim::*;
+
+/// `cr-bench` is a binary crate; re-run its experiment functions here
+/// through the library interface.
+mod cr_bench_shim {
+    pub use ndp_checkpoint::prelude::*;
+}
+
+use ndp_checkpoint::cr_core::ratio_opt;
+
+fn sim(sys: &SystemParams, strat: &Strategy, seed: u64) -> f64 {
+    let opts = SimOptions {
+        seed,
+        min_failures: 1200,
+        min_work: 0.0,
+        max_wall: 1e12,
+    };
+    simulate_avg(sys, strat, &opts, 3).progress_rate()
+}
+
+/// §6.3: like-for-like, NDP always beats the host configuration — with
+/// or without compression, at every recovery probability.
+#[test]
+fn ndp_beats_host_like_for_like_everywhere() {
+    let sys = SystemParams::exascale_default();
+    for (i, &p) in [0.2, 0.5, 0.8, 0.96].iter().enumerate() {
+        for comp in [false, true] {
+            let (host_comp, ndp_comp) = if comp {
+                (
+                    Some(CompressionSpec::gzip1_host()),
+                    Some(CompressionSpec::gzip1_ndp()),
+                )
+            } else {
+                (None, None)
+            };
+            let host = ratio_opt::best_host_strategy(&sys, p, host_comp).0;
+            let ndp = Strategy::local_io_ndp(p, ndp_comp);
+            let ph = sim(&sys, &host, 1000 + i as u64);
+            let pn = sim(&sys, &ndp, 2000 + i as u64);
+            assert!(
+                pn > ph,
+                "p={p} comp={comp}: ndp {pn} <= host {ph}"
+            );
+        }
+    }
+}
+
+/// §6.3 also claims NDP *without* compression beats multilevel *with*
+/// compression. Under this reproduction's more detailed failure model
+/// (I/O restores can themselves be interrupted, forcing repeat
+/// restores and destroying local-recovery eligibility), that crossover
+/// holds in the paper's emphasized high-`p_local` regime but inverts at
+/// low `p_local`, where the 18.7-minute uncompressed restores dominate.
+/// See EXPERIMENTS.md ("Deviations").
+#[test]
+fn ndp_plain_vs_host_compressed_crossover() {
+    let sys = SystemParams::exascale_default();
+    let host_c = |p| {
+        ratio_opt::best_host_strategy(&sys, p, Some(CompressionSpec::gzip1_host()))
+            .0
+    };
+    // High p_local (paper's 4%-I/O-recovery regime): NDP-plain wins.
+    let p = 0.96;
+    let h = sim(&sys, &host_c(p), 41);
+    let n = sim(&sys, &Strategy::local_io_ndp(p, None), 42);
+    assert!(n > h, "at p=0.96 NDP-plain {n} must beat host-comp {h}");
+    // Low p_local: compression's cheap restores win instead.
+    let p = 0.2;
+    let h = sim(&sys, &host_c(p), 43);
+    let n = sim(&sys, &Strategy::local_io_ndp(p, None), 44);
+    assert!(
+        h > n,
+        "at p=0.2 the documented inversion should appear: host-comp {h} vs ndp-plain {n}"
+    );
+}
+
+/// §6.3 headline: a large progress gap between multilevel+compression
+/// and NDP+compression (paper: 51% -> 78%).
+#[test]
+fn headline_gap_is_large() {
+    let sys = SystemParams::exascale_default();
+    let p = 0.8;
+    let host_c = ratio_opt::best_host_strategy(
+        &sys,
+        p,
+        Some(CompressionSpec::gzip1_host()),
+    )
+    .0;
+    let ndp_c = Strategy::local_io_ndp(p, Some(CompressionSpec::gzip1_ndp()));
+    let h = sim(&sys, &host_c, 31);
+    let n = sim(&sys, &ndp_c, 32);
+    assert!(
+        n - h > 0.08,
+        "gap too small: host+comp {h} vs ndp+comp {n}"
+    );
+    assert!(n > 0.78, "ndp+comp at p=0.8 should exceed 78%: {n}");
+}
+
+/// §6.4: under NDP the host-blocking Checkpoint-I/O component vanishes
+/// and Rerun-I/O collapses.
+#[test]
+fn fig7_component_claims() {
+    let sys = SystemParams::exascale_default();
+    let p = 0.96;
+    let host = ratio_opt::best_host_strategy(&sys, p, None).0;
+    let ndp_c = Strategy::local_io_ndp(p, Some(CompressionSpec::gzip1_ndp()));
+    let opts = SimOptions {
+        seed: 77,
+        min_failures: 2500,
+        min_work: 0.0,
+        max_wall: 1e12,
+    };
+    let h = simulate_avg(&sys, &host, &opts, 4).fractions();
+    let n = simulate_avg(&sys, &ndp_c, &opts, 4).fractions();
+    assert!(h.checkpoint_io > 0.03, "host ckpt-IO: {}", h.checkpoint_io);
+    assert_eq!(n.checkpoint_io, 0.0, "NDP must have zero ckpt-IO");
+    assert!(
+        n.rerun_io < h.rerun_io / 2.0,
+        "rerun-IO must collapse: host {} vs ndp {}",
+        h.rerun_io,
+        n.rerun_io
+    );
+    // NDP+compression approaches the 90% single-level bound.
+    assert!(
+        n.compute > 0.86,
+        "NDP+comp progress {} should approach 90%",
+        n.compute
+    );
+}
+
+/// §6.5 / Figure 8: the NDP advantage grows with checkpoint size, and a
+/// 2 GB/s NVM with NDP+compression beats a 15 GB/s NVM with host
+/// compression.
+#[test]
+fn fig8_claims() {
+    let p = 0.85;
+    let cf = 0.73;
+    let sys_at = |size_frac: f64, local_bw: f64| SystemParams {
+        checkpoint_bytes: size_frac * 140.0 * GB,
+        local_bw,
+        ..SystemParams::exascale_default()
+    };
+    // Sensitivity configurations re-optimize the local interval (Daly)
+    // per hardware point, as the experiment harness does.
+    let ndp_daly = |comp| Strategy::LocalIoNdp {
+        interval: None,
+        ratio: None,
+        p_local: p,
+        compression: comp,
+        drain_lag: Default::default(),
+    };
+    let gain_at = |frac: f64, seed: u64| {
+        let fast = sys_at(frac, 15.0 * GB);
+        let host_c = ratio_opt::best_host_strategy_at(
+            &fast,
+            p,
+            Some(CompressionSpec::gzip1_host_with_factor(cf)),
+            None,
+        )
+        .0;
+        let ndp_c = ndp_daly(Some(CompressionSpec::gzip1_ndp_with_factor(cf)));
+        sim(&fast, &ndp_c, seed) - sim(&fast, &host_c, seed + 1)
+    };
+    let gain_small = gain_at(0.1, 51);
+    let gain_large = gain_at(0.8, 61);
+    assert!(
+        gain_large > gain_small,
+        "NDP gain must grow with checkpoint size: {gain_small} -> {gain_large}"
+    );
+
+    // Slow NVM + NDP+comp vs fast NVM + host comp, at full size.
+    let fast = sys_at(0.8, 15.0 * GB);
+    let slow = sys_at(0.8, 2.0 * GB);
+    let host_fast = ratio_opt::best_host_strategy_at(
+        &fast,
+        p,
+        Some(CompressionSpec::gzip1_host_with_factor(cf)),
+        None,
+    )
+    .0;
+    let ndp_slow = ndp_daly(Some(CompressionSpec::gzip1_ndp_with_factor(cf)));
+    let ph = sim(&fast, &host_fast, 71);
+    let pn = sim(&slow, &ndp_slow, 72);
+    assert!(
+        pn > ph - 0.02,
+        "L-2GBps+NC ({pn}) should match or beat L-15GBps+HC ({ph})"
+    );
+}
+
+/// §6.5 / Figure 9: the NDP advantage shrinks as MTTI grows.
+#[test]
+fn fig9_claims() {
+    let p = 0.85;
+    let cf = 0.73;
+    let gain_at = |mtti_min: f64, seed: u64| {
+        let sys = SystemParams::exascale_default().with_mtti(mtti_min * MINUTE);
+        let host_c = ratio_opt::best_host_strategy_at(
+            &sys,
+            p,
+            Some(CompressionSpec::gzip1_host_with_factor(cf)),
+            None,
+        )
+        .0;
+        let ndp_c = Strategy::LocalIoNdp {
+            interval: None,
+            ratio: None,
+            p_local: p,
+            compression: Some(CompressionSpec::gzip1_ndp_with_factor(cf)),
+            drain_lag: Default::default(),
+        };
+        sim(&sys, &ndp_c, seed) - sim(&sys, &host_c, seed + 1)
+    };
+    let gain_30 = gain_at(30.0, 81);
+    let gain_150 = gain_at(150.0, 91);
+    assert!(
+        gain_30 > gain_150,
+        "gain must shrink with MTTI: 30min {gain_30} vs 150min {gain_150}"
+    );
+    assert!(gain_150 > -0.01, "NDP should never lose: {gain_150}");
+}
+
+/// §3.4: multilevel checkpointing sits between I/O-only and local-only;
+/// the system is designed for ~90% at the local level.
+#[test]
+fn ordering_io_multilevel_local() {
+    let sys = SystemParams::exascale_default();
+    let io = sim(
+        &sys,
+        &Strategy::IoOnly {
+            interval: None,
+            compression: None,
+        },
+        1,
+    );
+    let multi = sim(&sys, &Strategy::local_io_host(20, 0.85, None), 2);
+    let local = sim(&sys, &Strategy::LocalOnly { interval: None }, 3);
+    assert!(io < multi && multi < local, "io {io}, multi {multi}, local {local}");
+    assert!((local - 0.90).abs() < 0.02, "local-only = {local}");
+}
+
+/// Figure 5 claims: host optimal ratios rise with p_local and fall with
+/// compression; the NDP ratio depends only on the compression factor.
+#[test]
+fn fig5_claims() {
+    let sys = SystemParams::exascale_default();
+    let r_low = ratio_opt::best_host_ratio(&sys, 0.2, None).0;
+    let r_high = ratio_opt::best_host_ratio(&sys, 0.96, None).0;
+    assert!(r_high > r_low);
+    let r_comp = ratio_opt::best_host_ratio(
+        &sys,
+        0.96,
+        Some(CompressionSpec::gzip1_host()),
+    )
+    .0;
+    assert!(r_comp < r_high);
+    assert_eq!(ratio_opt::ndp_ratio(&sys, None), 8);
+    assert_eq!(
+        ratio_opt::ndp_ratio(&sys, Some(CompressionSpec::gzip1_ndp())),
+        3
+    );
+}

@@ -1,0 +1,120 @@
+//! Tests of the partner level (§3.4): checkpoints replicated to a
+//! partner node's NVM survive single-node loss; only pair loss forces
+//! recovery from global I/O.
+
+use ndp_checkpoint::cr_node::node::{
+    ComputeNode, FailureKind, NodeConfig, NodeError, RestoreSource,
+};
+use ndp_checkpoint::cr_workloads::{by_name, CheckpointGenerator};
+
+fn cfg(partner_ratio: u32, drain_ratio: u32) -> NodeConfig {
+    NodeConfig {
+        partner_ratio,
+        drain_ratio,
+        ..NodeConfig::small_test()
+    }
+}
+
+fn image(step: u64) -> Vec<u8> {
+    by_name("miniAero").unwrap().generate(512 << 10, step)
+}
+
+#[test]
+fn node_loss_recovers_from_partner() {
+    let mut node = ComputeNode::new(cfg(1, 4));
+    node.register_app("a");
+    let img = image(1);
+    node.checkpoint("a", &img).unwrap();
+    node.inject_failure(FailureKind::NodeLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::Partner);
+    assert_eq!(r.data, img);
+}
+
+#[test]
+fn recovery_hierarchy_local_partner_io() {
+    let mut node = ComputeNode::new(cfg(2, 2));
+    node.register_app("a");
+    let imgs: Vec<Vec<u8>> = (1..=4).map(image).collect();
+    for img in &imgs {
+        node.checkpoint("a", img).unwrap();
+    }
+    node.drain_all().unwrap();
+    // Local survives a process crash: newest (#3) from local NVM.
+    node.inject_failure(FailureKind::LocalSurvivable);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::LocalNvm);
+    assert_eq!(r.data, imgs[3]);
+    // Node loss: partner holds every 2nd checkpoint (#1, #3).
+    node.inject_failure(FailureKind::NodeLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::Partner);
+    assert_eq!(r.data, imgs[3], "partner's newest replica is #3");
+    // Pair loss: only I/O-durable drains (every 2nd: #1, #3) remain.
+    node.inject_failure(FailureKind::PairLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::RemoteIo);
+    assert_eq!(r.data, imgs[3]);
+}
+
+#[test]
+fn partner_restore_reseeds_local() {
+    let mut node = ComputeNode::new(cfg(1, 8));
+    node.register_app("a");
+    let img = image(5);
+    node.checkpoint("a", &img).unwrap();
+    node.inject_failure(FailureKind::NodeLoss);
+    let _ = node.restore("a").unwrap();
+    // Next local-survivable failure restores from local again.
+    node.inject_failure(FailureKind::LocalSurvivable);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::LocalNvm);
+    assert_eq!(r.data, img);
+}
+
+#[test]
+fn pair_loss_without_drain_loses_everything() {
+    let mut node = ComputeNode::new(cfg(1, 100));
+    node.register_app("a");
+    node.checkpoint("a", &image(6)).unwrap();
+    node.inject_failure(FailureKind::PairLoss);
+    assert!(matches!(
+        node.restore("a").unwrap_err(),
+        NodeError::NoCheckpoint
+    ));
+}
+
+#[test]
+fn partner_ratio_skips_checkpoints() {
+    let mut node = ComputeNode::new(cfg(3, 100));
+    node.register_app("a");
+    let imgs: Vec<Vec<u8>> = (1..=7).map(image).collect();
+    for img in &imgs {
+        node.checkpoint("a", img).unwrap();
+    }
+    // Partner holds every 3rd: #2 and #5 (0-indexed ids).
+    let partner = node.partner().unwrap();
+    let ids: Vec<u64> = partner
+        .slots(ndp_checkpoint::cr_node::nvm::Region::Uncompressed)
+        .map(|s| s.meta.ckpt_id)
+        .collect();
+    assert_eq!(ids, vec![2, 5]);
+    node.inject_failure(FailureKind::NodeLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::Partner);
+    assert_eq!(r.data, imgs[5], "newest partner replica");
+}
+
+#[test]
+fn disabled_partner_level_goes_straight_to_io() {
+    let mut node = ComputeNode::new(cfg(0, 1));
+    node.register_app("a");
+    assert!(node.partner().is_none());
+    let img = image(9);
+    node.checkpoint("a", &img).unwrap();
+    node.drain_all().unwrap();
+    node.inject_failure(FailureKind::NodeLoss);
+    let r = node.restore("a").unwrap();
+    assert_eq!(r.source, RestoreSource::RemoteIo);
+    assert_eq!(r.data, img);
+}
