@@ -1,12 +1,19 @@
-//! Criterion benches for the mechanical design choices of §4.2.2,
-//! exercised on the functional node:
+//! Benches for the mechanical design choices of §4.2.2, exercised on
+//! the functional node:
 //!
 //! * **overlap vs serialize** — pipelined block-wise compress+ship
 //!   (the paper's proposal) against compress-everything-then-ship;
 //! * **pause vs spill** — the two NIC backpressure policies under an
 //!   intermittently blocked network.
+//!
+//! Std-only harness (`harness = false`, gated behind the
+//! `bench-harness` feature):
+//!
+//! ```sh
+//! cargo bench -p cr-bench --features bench-harness --bench ablations
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cr_bench::perf::Runner;
 use cr_compress::registry;
 use cr_node::ndp::{BackpressurePolicy, StepOutcome};
 use cr_node::node::{ComputeNode, NodeConfig};
@@ -28,72 +35,63 @@ fn checkpoint_image() -> Vec<u8> {
     by_name("miniFE").unwrap().generate(CKPT_BYTES, 5)
 }
 
-fn bench_overlap_vs_serialize(c: &mut Criterion) {
+fn bench_overlap_vs_serialize(r: &Runner) {
     let image = checkpoint_image();
-    let mut group = c.benchmark_group("ablate_overlap");
-    group.throughput(Throughput::Bytes(image.len() as u64));
-    group.sample_size(10);
+    println!("-- ablate_overlap --");
 
     // Pipelined: the NDP engine's block-wise compress+ship.
-    group.bench_function("pipelined_drain", |b| {
-        b.iter(|| {
-            let mut node = ComputeNode::new(config(BackpressurePolicy::Pause));
-            node.register_app("app");
-            node.checkpoint("app", &image).unwrap();
-            node.drain_all().unwrap();
-            node.io().bytes_written
-        });
+    r.run("ablate_overlap/pipelined_drain", image.len(), || {
+        let mut node = ComputeNode::new(config(BackpressurePolicy::Pause));
+        node.register_app("app");
+        node.checkpoint("app", &image).unwrap();
+        node.drain_all().unwrap();
+        std::hint::black_box(node.io().bytes_written);
     });
 
     // Serialized: compress the whole checkpoint, then ship it in one
     // piece (the naive alternative of Sec. 4.2.2).
-    group.bench_function("serialized_drain", |b| {
-        let codec = registry::by_name("gz", 1).unwrap();
-        b.iter(|| {
-            let compressed = codec.compress_to_vec(&image);
-            // "Ship": move the full buffer once.
-            std::hint::black_box(compressed.len())
-        });
+    let codec = registry::by_name("gz", 1).unwrap();
+    r.run("ablate_overlap/serialized_drain", image.len(), || {
+        let compressed = codec.compress_to_vec(&image);
+        // "Ship": move the full buffer once.
+        std::hint::black_box(compressed.len());
     });
-    group.finish();
 }
 
-fn bench_backpressure_policies(c: &mut Criterion) {
+fn bench_backpressure_policies(r: &Runner) {
     let image = checkpoint_image();
-    let mut group = c.benchmark_group("ablate_backpressure");
-    group.throughput(Throughput::Bytes(image.len() as u64));
-    group.sample_size(10);
+    println!("-- ablate_backpressure --");
 
     for (name, policy) in [
         ("pause", BackpressurePolicy::Pause),
         ("spill", BackpressurePolicy::Spill),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut node = ComputeNode::new(config(policy));
-                node.register_app("app");
-                node.checkpoint("app", &image).unwrap();
-                // Network blocked for the first phase of the drain.
-                node.nic_blocked(true);
-                let mut guard = 0u64;
-                loop {
-                    match node.ndp_step().unwrap() {
-                        StepOutcome::Stalled | StepOutcome::Idle => break,
-                        _ => {}
-                    }
-                    guard += 1;
-                    if guard > 100_000 {
-                        break;
-                    }
+        r.run(&format!("ablate_backpressure/{name}"), image.len(), || {
+            let mut node = ComputeNode::new(config(policy));
+            node.register_app("app");
+            node.checkpoint("app", &image).unwrap();
+            // Network blocked for the first phase of the drain.
+            node.nic_blocked(true);
+            let mut guard = 0u64;
+            loop {
+                match node.ndp_step().unwrap() {
+                    StepOutcome::Stalled | StepOutcome::Idle => break,
+                    _ => {}
                 }
-                node.nic_blocked(false);
-                node.drain_all().unwrap();
-                node.ndp_stats().blocks_spilled
-            });
+                guard += 1;
+                if guard > 100_000 {
+                    break;
+                }
+            }
+            node.nic_blocked(false);
+            node.drain_all().unwrap();
+            std::hint::black_box(node.ndp_stats().blocks_spilled);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_overlap_vs_serialize, bench_backpressure_policies);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_env(5);
+    bench_overlap_vs_serialize(&r);
+    bench_backpressure_policies(&r);
+}

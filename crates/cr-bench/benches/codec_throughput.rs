@@ -1,18 +1,23 @@
-//! Criterion bench: compression and decompression throughput of each
-//! study codec on a representative mini-app checkpoint image — the
-//! measured analogue of Table 2's speed columns.
+//! Bench: compression and decompression throughput of each study codec
+//! on a representative mini-app checkpoint image — the measured
+//! analogue of Table 2's speed columns.
+//!
+//! Std-only harness (`harness = false`, gated behind the
+//! `bench-harness` feature):
+//!
+//! ```sh
+//! cargo bench -p cr-bench --features bench-harness --bench codec_throughput
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cr_bench::perf::Runner;
 use cr_compress::registry::study_codecs;
 use cr_workloads::{by_name, CheckpointGenerator};
 
 const IMAGE_BYTES: usize = 2 << 20;
 
-fn bench_compress(c: &mut Criterion) {
+fn bench_compress(r: &Runner) {
     let image = by_name("CoMD").unwrap().generate(IMAGE_BYTES, 7);
-    let mut group = c.benchmark_group("compress/CoMD");
-    group.throughput(Throughput::Bytes(image.len() as u64));
-    group.sample_size(10);
+    println!("-- compress/CoMD --");
     for codec in study_codecs() {
         // rz is slow by design; shrink its input to keep bench time sane.
         let input: &[u8] = if codec.name() == "rz" {
@@ -20,22 +25,17 @@ fn bench_compress(c: &mut Criterion) {
         } else {
             &image
         };
-        group.throughput(Throughput::Bytes(input.len() as u64));
-        group.bench_function(codec.label(), |b| {
-            let mut out = Vec::new();
-            b.iter(|| {
-                codec.compress(std::hint::black_box(input), &mut out);
-                out.len()
-            });
+        let mut out = Vec::new();
+        r.run(&format!("compress/CoMD/{}", codec.label()), input.len(), || {
+            codec.compress(std::hint::black_box(input), &mut out);
+            std::hint::black_box(out.len());
         });
     }
-    group.finish();
 }
 
-fn bench_decompress(c: &mut Criterion) {
+fn bench_decompress(r: &Runner) {
     let image = by_name("HPCCG").unwrap().generate(IMAGE_BYTES, 9);
-    let mut group = c.benchmark_group("decompress/HPCCG");
-    group.sample_size(10);
+    println!("-- decompress/HPCCG --");
     for codec in study_codecs() {
         let input: &[u8] = if codec.name() == "rz" {
             &image[..IMAGE_BYTES / 4]
@@ -43,19 +43,22 @@ fn bench_decompress(c: &mut Criterion) {
             &image
         };
         let compressed = codec.compress_to_vec(input);
-        group.throughput(Throughput::Bytes(input.len() as u64));
-        group.bench_function(codec.label(), |b| {
-            let mut out = Vec::new();
-            b.iter(|| {
+        let mut out = Vec::new();
+        r.run(
+            &format!("decompress/HPCCG/{}", codec.label()),
+            input.len(),
+            || {
                 codec
                     .decompress(std::hint::black_box(&compressed), &mut out)
                     .unwrap();
-                out.len()
-            });
-        });
+                std::hint::black_box(out.len());
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_env(5);
+    bench_compress(&r);
+    bench_decompress(&r);
+}

@@ -1,14 +1,20 @@
-//! Criterion bench: throughput of the discrete-event simulator and the
-//! analytic solver — these bound how fast the figure sweeps regenerate.
+//! Bench: throughput of the discrete-event simulator and the analytic
+//! solver — these bound how fast the figure sweeps regenerate.
+//!
+//! Std-only harness (`harness = false`, gated behind the
+//! `bench-harness` feature):
+//!
+//! ```sh
+//! cargo bench -p cr-bench --features bench-harness --bench simulator
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cr_bench::perf::Runner;
 use cr_core::params::{CompressionSpec, Strategy, SystemParams};
 use cr_sim::{simulate, SimOptions};
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine(r: &Runner) {
     let sys = SystemParams::exascale_default();
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(20);
+    println!("-- simulator --");
     let cases: Vec<(&str, Strategy)> = vec![
         (
             "host_multilevel",
@@ -27,33 +33,38 @@ fn bench_engine(c: &mut Criterion) {
         ),
     ];
     for (name, strat) in cases {
-        group.bench_function(format!("1000_failures/{name}"), |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let opts = SimOptions {
-                    seed,
-                    min_failures: 1000,
-                    min_work: 0.0,
-                    max_wall: 1e12,
-                };
-                simulate(&sys, &strat, &opts).stats.failures
-            });
+        let mut seed = 0u64;
+        r.run(&format!("simulator/1000_failures/{name}"), 0, || {
+            seed += 1;
+            let opts = SimOptions {
+                seed,
+                min_failures: 1000,
+                min_work: 0.0,
+                max_wall: 1e12,
+            };
+            std::hint::black_box(simulate(&sys, &strat, &opts).stats.failures);
         });
     }
-    group.finish();
 }
 
-fn bench_analytic(c: &mut Criterion) {
+fn bench_analytic(r: &Runner) {
     let sys = SystemParams::exascale_default();
-    c.bench_function("analytic/solve_cycle_k20", |b| {
-        let strat = Strategy::local_io_host(20, 0.85, None);
-        b.iter(|| cr_core::analytic::solve_cycle(&sys, &strat).cycle_time);
+    println!("-- analytic --");
+    let strat = Strategy::local_io_host(20, 0.85, None);
+    r.run("analytic/solve_cycle_k20", 0, || {
+        std::hint::black_box(
+            cr_core::analytic::solve_cycle(&sys, &strat).cycle_time,
+        );
     });
-    c.bench_function("analytic/best_ratio_scan", |b| {
-        b.iter(|| cr_core::ratio_opt::best_host_ratio(&sys, 0.85, None));
+    r.run("analytic/best_ratio_scan", 0, || {
+        std::hint::black_box(cr_core::ratio_opt::best_host_ratio(
+            &sys, 0.85, None,
+        ));
     });
 }
 
-criterion_group!(benches, bench_engine, bench_analytic);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_env(5);
+    bench_engine(&r);
+    bench_analytic(&r);
+}

@@ -10,6 +10,7 @@
 #![warn(clippy::all)]
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 use std::env;

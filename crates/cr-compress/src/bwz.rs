@@ -313,6 +313,10 @@ impl Codec for Bwz {
         compress_impl(self, input, out);
     }
 
+    fn compress_append(&self, input: &[u8], out: &mut Vec<u8>) {
+        compress_impl(self, input, out);
+    }
+
     fn decompress(
         &self,
         input: &[u8],

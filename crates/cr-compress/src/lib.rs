@@ -89,6 +89,20 @@ pub trait Codec: Send + Sync {
     /// Compresses `input`, appending to `out` (which is cleared first).
     fn compress(&self, input: &[u8], out: &mut Vec<u8>);
 
+    /// Compresses `input`, appending the container to `out` *without*
+    /// clearing it. This is the zero-copy entry point for callers that
+    /// frame compressed blocks inside a larger buffer (the NDP engine
+    /// writes `[raw_len][comp_len][payload]` directly into an NVM
+    /// region): no intermediate per-block `Vec` is needed.
+    ///
+    /// The default routes through a scratch compression and one copy;
+    /// codecs override it to write in place.
+    fn compress_append(&self, input: &[u8], out: &mut Vec<u8>) {
+        let mut tmp = Vec::new();
+        self.compress(input, &mut tmp);
+        out.extend_from_slice(&tmp);
+    }
+
     /// Decompresses `input`, appending to `out` (which is cleared
     /// first). Fails on malformed input but must never panic on
     /// arbitrary bytes.

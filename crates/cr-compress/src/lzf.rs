@@ -2,13 +2,26 @@
 //! hash-table match finder, 64 KiB window, token/extension encoding of
 //! literal runs and matches, no entropy stage. Very fast, modest ratio —
 //! the profile of the paper's `lz4(1)`.
+//!
+//! The hot loop borrows three tricks from the reference encoders:
+//! a thread-local hash table revalidated by an epoch base (no 256 KiB
+//! memset per call — it matters when NDP blocks are 4 KiB), `u64`
+//! word-at-a-time match extension, and LZ4-style skip acceleration that
+//! probes less often the longer an incompressible run gets.
 
+use std::cell::RefCell;
+
+use crate::lz::common_prefix_from;
 use crate::{Codec, CodecError};
 
 const MAGIC: u8 = 0x4C;
 const MIN_MATCH: usize = 4;
 const MAX_OFFSET: usize = 65_535;
 const HASH_BITS: u32 = 16;
+/// Probe count doubling interval for skip acceleration (LZ4 uses 6).
+const SKIP_SHIFT: u32 = 6;
+/// Upper bound on the probe stride in incompressible runs.
+const MAX_STEP: usize = 32;
 
 /// The `lzf` codec. Only level 1 exists, matching `lz4(1)` in the paper.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,40 +56,87 @@ fn push_len(out: &mut Vec<u8>, mut len: usize) {
     out.push(len as u8);
 }
 
+/// Thread-local hash table with epoch revalidation: entries store
+/// `base + position`; anything below `base` is stale (from an earlier
+/// input) and reads as empty, so reuse needs no clearing.
+struct LzfState {
+    table: Vec<u32>,
+    base: u32,
+}
+
+impl LzfState {
+    fn prepare(&mut self, len: usize) {
+        if self.table.is_empty() {
+            self.table = vec![0u32; 1 << HASH_BITS];
+        }
+        if (self.base as u64) + (len as u64) + 1 >= u32::MAX as u64 {
+            self.table.iter_mut().for_each(|t| *t = 0);
+            self.base = 1;
+        }
+    }
+}
+
+thread_local! {
+    static TLS_STATE: RefCell<LzfState> = const {
+        RefCell::new(LzfState {
+            table: Vec::new(),
+            base: 1,
+        })
+    };
+}
+
 fn compress_impl(input: &[u8], out: &mut Vec<u8>) {
     out.push(MAGIC);
     out.extend_from_slice(&(input.len() as u64).to_le_bytes());
     if input.is_empty() {
         return;
     }
+    TLS_STATE.with(|s| compress_body(&mut s.borrow_mut(), input, out));
+}
 
-    let mut table = vec![0u32; 1 << HASH_BITS]; // position + 1; 0 = empty
+fn compress_body(state: &mut LzfState, input: &[u8], out: &mut Vec<u8>) {
+    state.prepare(input.len());
+    let base = state.base;
+    let table = &mut state.table;
     let mut pos = 0usize;
     let mut literal_start = 0usize;
     let end = input.len();
     // Last few bytes are always emitted as literals (no 4-byte read).
     let match_limit = end.saturating_sub(MIN_MATCH);
+    // Failed probes since the last match; drives the skip stride.
+    let mut probes = 0u32;
 
     while pos <= match_limit && end - pos >= MIN_MATCH {
         let h = hash(read_u32(input, pos));
-        let cand = table[h] as usize;
-        table[h] = (pos + 1) as u32;
-        let found = cand > 0 && {
-            let c = cand - 1;
+        let cand = table[h];
+        table[h] = base + pos as u32;
+        let found = cand >= base && {
+            let c = (cand - base) as usize;
             c < pos
                 && pos - c <= MAX_OFFSET
                 && read_u32(input, c) == read_u32(input, pos)
         };
         if !found {
-            pos += 1;
+            // Skip acceleration: on a long literal run, step further
+            // between probes. Worst case a later match starts a few
+            // bytes late; incompressible data stops costing one probe
+            // per byte.
+            let step =
+                (1 + (probes >> SKIP_SHIFT) as usize).min(MAX_STEP);
+            probes += 1;
+            pos += step;
             continue;
         }
-        let cand = cand as usize - 1;
-        // Extend the match.
-        let mut len = MIN_MATCH;
-        while pos + len < end && input[cand + len] == input[pos + len] {
-            len += 1;
-        }
+        probes = 0;
+        let cand = (cand - base) as usize;
+        // Extend the match 8 bytes at a time.
+        let len = MIN_MATCH
+            + common_prefix_from(
+                input,
+                cand + MIN_MATCH,
+                pos + MIN_MATCH,
+                end - pos - MIN_MATCH,
+            );
 
         // Emit sequence: literals since literal_start, then the match.
         let lit_len = pos - literal_start;
@@ -97,7 +157,7 @@ fn compress_impl(input: &[u8], out: &mut Vec<u8>) {
         let insert_to = (pos + len).min(match_limit);
         let mut p = pos + 1;
         while p < insert_to {
-            table[hash(read_u32(input, p))] = (p + 1) as u32;
+            table[hash(read_u32(input, p))] = base + p as u32;
             p += 3;
         }
 
@@ -116,6 +176,9 @@ fn compress_impl(input: &[u8], out: &mut Vec<u8>) {
     }
     out.extend_from_slice(&input[literal_start..end]);
     out.extend_from_slice(&0u16.to_le_bytes()); // offset 0 = terminator
+
+    // Retire this input's position range; stale entries now read empty.
+    state.base += input.len() as u32;
 }
 
 fn read_len(
@@ -216,6 +279,10 @@ impl Codec for Lzf {
 
     fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
         out.clear();
+        compress_impl(input, out);
+    }
+
+    fn compress_append(&self, input: &[u8], out: &mut Vec<u8>) {
         compress_impl(input, out);
     }
 
@@ -332,6 +399,21 @@ mod tests {
         bad.push(0x00);
         bad.extend_from_slice(&9u16.to_le_bytes());
         assert!(c.decompress_to_vec(&bad).is_err());
+    }
+
+    #[test]
+    fn warm_table_output_matches_cold() {
+        // The epoch base must make a reused table behave exactly like a
+        // fresh one, for any interleaving of inputs.
+        let c = Lzf::new();
+        let a = b"alpha beta gamma ".repeat(300);
+        let b = vec![0x5Au8; 10_000];
+        let cold_a = c.compress_to_vec(&a);
+        let cold_b = c.compress_to_vec(&b);
+        for _ in 0..4 {
+            assert_eq!(c.compress_to_vec(&a), cold_a);
+            assert_eq!(c.compress_to_vec(&b), cold_b);
+        }
     }
 
     #[test]

@@ -9,18 +9,42 @@
 //! container. Decompression is likewise chunk-parallel. The wrapper is
 //! itself a `Codec`, so it can be measured by the §5 harness or plugged
 //! into the NDP engine.
+//!
+//! ## Lock-free pipeline
+//!
+//! Workers never queue behind a mutex. Chunks are claimed with an
+//! atomic counter and every result lands in a pre-sized slot owned
+//! exclusively by its claimant (the raw-view idiom also used by
+//! `cr_sim::par::par_map`), so adding workers adds no serialization
+//! beyond the claim fetch-add. [`ParallelCodec::compress_stream`] goes
+//! further: a consumer emits each framed chunk the moment it (and its
+//! predecessors) are ready, while later chunks are still compressing —
+//! the shape an NDP drain wants, where frames leave for the NIC as they
+//! finish. Chunk output buffers are recycled through a small pool, so a
+//! steady-state drain performs no per-chunk allocation.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::{Codec, CodecError};
 
 const MAGIC: &[u8; 4] = b"PAR1";
+/// Upper bound on pooled chunk buffers kept across calls.
+const POOL_CAP: usize = 64;
 
 /// A block-parallel wrapper around any codec.
 pub struct ParallelCodec {
     inner: Box<dyn Codec>,
     threads: usize,
+    /// Workers actually spawned: `threads` capped at the machine's
+    /// available parallelism. Oversubscribing a core only adds context
+    /// switches (the container bytes are identical either way), so the
+    /// cap is pure win.
+    workers: usize,
     chunk_size: usize,
+    /// Recycled per-chunk output buffers (cleared, capacity kept).
+    pool: Mutex<Vec<Vec<u8>>>,
 }
 
 impl ParallelCodec {
@@ -29,10 +53,15 @@ impl ParallelCodec {
     pub fn new(inner: Box<dyn Codec>, threads: usize, chunk_size: usize) -> Self {
         assert!(threads >= 1);
         assert!(chunk_size >= 4096, "chunks too small to be worthwhile");
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         ParallelCodec {
             inner,
             threads,
+            workers: threads.min(cores),
             chunk_size,
+            pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -44,9 +73,32 @@ impl ParallelCodec {
         Self::new(inner, threads, 1 << 20)
     }
 
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured chunk size in bytes.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn take_buf(&self) -> Vec<u8> {
+        self.pool.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn recycle_buf(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
+
     /// Runs `f` over `jobs` on up to `self.threads` workers, preserving
-    /// order. `f` must be infallible per job or return a Result that we
-    /// propagate.
+    /// order, without any locking: an atomic counter hands out indices
+    /// and each worker writes the uniquely-claimed input and output
+    /// slots through raw views.
     fn run_jobs<J, R, F>(&self, jobs: Vec<J>, f: F) -> Vec<R>
     where
         J: Send,
@@ -57,39 +109,172 @@ impl ParallelCodec {
         if n == 0 {
             return Vec::new();
         }
-        let workers = self.threads.min(n);
+        let workers = self.workers.min(n);
         if workers <= 1 {
             return jobs.into_iter().map(f).collect();
         }
-        let jobs: Vec<Option<J>> = jobs.into_iter().map(Some).collect();
-        let jobs = std::sync::Mutex::new(jobs);
+        let mut jobs: Vec<Option<J>> = jobs.into_iter().map(Some).collect();
         let next = AtomicUsize::new(0);
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
-        let out_mutex = std::sync::Mutex::new(&mut out);
 
-        crossbeam::thread::scope(|scope| {
+        {
+            let jobs_view = SendPtr(jobs.as_mut_ptr());
+            let out_view = SendPtr(out.as_mut_ptr());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let f = &f;
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // SAFETY: index i is claimed exactly once across
+                        // all workers and is in-bounds; both vectors
+                        // outlive the scope and the main thread does not
+                        // touch them until the scope joins.
+                        let job = unsafe {
+                            (*jobs_view.get().add(i)).take().expect("job")
+                        };
+                        let r = f(job);
+                        unsafe {
+                            *out_view.get().add(i) = Some(r);
+                        }
+                    });
+                }
+            });
+        }
+
+        out.into_iter().map(|r| r.expect("slot filled")).collect()
+    }
+
+    /// Compresses `input` chunk-parallel, handing each framed chunk
+    /// (`[u32 len][payload]`) to `emit` in order *as soon as it and its
+    /// predecessors are done* — the framed prefix of the container is
+    /// streaming out while the tail is still being compressed.
+    ///
+    /// `emit` receives exactly the container body: concatenating the
+    /// header written by [`Codec::compress`] with every emitted frame
+    /// reproduces `compress`'s output byte for byte.
+    pub fn compress_stream(
+        &self,
+        input: &[u8],
+        emit: &mut dyn FnMut(&[u8]),
+    ) {
+        let chunks: Vec<&[u8]> = input.chunks(self.chunk_size).collect();
+        let n = chunks.len();
+        if n == 0 {
+            return;
+        }
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            // Sequential fast path: one reused buffer, zero coordination.
+            let mut buf = self.take_buf();
+            for chunk in chunks {
+                self.inner.compress(chunk, &mut buf);
+                emit(&(buf.len() as u32).to_le_bytes());
+                emit(&buf);
+            }
+            self.recycle_buf(buf);
+            return;
+        }
+
+        let slots: Vec<Slot> = (0..n).map(|_| Slot::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                let f = &f;
-                let jobs = &jobs;
+                let slots = &slots;
                 let next = &next;
-                let out_mutex = &out_mutex;
-                scope.spawn(move |_| loop {
+                let chunks = &chunks;
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let job = jobs.lock().unwrap()[i].take().expect("job");
-                    let r = f(job);
-                    out_mutex.lock().unwrap()[i] = Some(r);
+                    let mut buf = self.take_buf();
+                    self.inner.compress(chunks[i], &mut buf);
+                    slots[i].fill(buf);
                 });
             }
-        })
-        .expect("compression worker panicked");
 
-        out.into_iter().map(|r| r.expect("slot filled")).collect()
+            // This thread is the consumer: emit frames in order as they
+            // become ready, overlapping with the workers still running.
+            for slot in &slots {
+                let buf = slot.wait_take();
+                emit(&(buf.len() as u32).to_le_bytes());
+                emit(&buf);
+                self.recycle_buf(buf);
+            }
+        });
     }
 }
+
+/// A single-producer single-consumer result slot: the claiming worker
+/// stores the buffer then flips `ready` (release); the consumer
+/// observes `ready` (acquire) before taking the buffer.
+struct Slot {
+    ready: AtomicBool,
+    buf: UnsafeCell<Option<Vec<u8>>>,
+}
+
+// SAFETY: the release/acquire pair on `ready` orders the single write
+// of `buf` before the single read; no other access exists.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            ready: AtomicBool::new(false),
+            buf: UnsafeCell::new(None),
+        }
+    }
+
+    fn fill(&self, buf: Vec<u8>) {
+        // SAFETY: exactly one worker claims this slot's index, and the
+        // consumer does not read until `ready` is set below.
+        unsafe {
+            *self.buf.get() = Some(buf);
+        }
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn wait_take(&self) -> Vec<u8> {
+        let mut spins = 0u32;
+        while !self.ready.load(Ordering::Acquire) {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                // Oversubscribed (e.g. single-core machines): give the
+                // producer the CPU instead of burning it.
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: `ready` is set exactly once, after the buffer write.
+        unsafe { (*self.buf.get()).take().expect("slot filled") }
+    }
+}
+
+/// A `Send + Copy` wrapper for raw slot pointers shared across workers;
+/// soundness argument at the use sites in `run_jobs`.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `SendPtr` — edition-2021 disjoint capture would otherwise
+    /// capture the raw pointer field, which is not `Send`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 
 impl Codec for ParallelCodec {
     fn name(&self) -> &'static str {
@@ -106,17 +291,16 @@ impl Codec for ParallelCodec {
 
     fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
         out.clear();
+        self.compress_append(input, out);
+    }
+
+    fn compress_append(&self, input: &[u8], out: &mut Vec<u8>) {
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(input.len() as u64).to_le_bytes());
         out.extend_from_slice(&(self.chunk_size as u32).to_le_bytes());
-
-        let chunks: Vec<&[u8]> = input.chunks(self.chunk_size).collect();
-        let compressed =
-            self.run_jobs(chunks, |chunk| self.inner.compress_to_vec(chunk));
-        for c in compressed {
-            out.extend_from_slice(&(c.len() as u32).to_le_bytes());
-            out.extend_from_slice(&c);
-        }
+        self.compress_stream(input, &mut |frame| {
+            out.extend_from_slice(frame);
+        });
     }
 
     fn decompress(
@@ -211,6 +395,73 @@ mod tests {
         let one = par(1).compress_to_vec(&data);
         let eight = par(8).compress_to_vec(&data);
         assert_eq!(one, eight, "container must be deterministic");
+    }
+
+    #[test]
+    fn adversarial_chunk_counts_match_single_thread() {
+        // Regression test for the old mutex-serialized job runner: every
+        // thread count must produce the single-thread container for
+        // chunk counts around the worker count (0, 1, n-1, n, n+1, and a
+        // remainder chunk), and repeated calls (warm buffer pool, warm
+        // thread-local codec state) must not perturb the bytes.
+        let chunk = 4096usize;
+        for nchunks in [1usize, 2, 3, 7, 8, 9, 16, 33] {
+            for tail in [0usize, 1, chunk - 1] {
+                let len = (nchunks - 1) * chunk + tail.max(1);
+                let data = sample(len);
+                let baseline = ParallelCodec::new(
+                    Box::new(Lzf::new()),
+                    1,
+                    chunk,
+                )
+                .compress_to_vec(&data);
+                for threads in [2usize, 3, 8] {
+                    let c = ParallelCodec::new(
+                        Box::new(Lzf::new()),
+                        threads,
+                        chunk,
+                    );
+                    for round in 0..2 {
+                        let got = c.compress_to_vec(&data);
+                        assert_eq!(
+                            got, baseline,
+                            "nchunks {nchunks} tail {tail} \
+                             threads {threads} round {round}"
+                        );
+                    }
+                    assert_eq!(
+                        c.decompress_to_vec(&baseline).unwrap(),
+                        data
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_stream_frames_match_container_body() {
+        let data = sample(123_456);
+        for threads in [1, 4] {
+            let c = par(threads);
+            let mut streamed = Vec::new();
+            let mut frames = 0usize;
+            c.compress_stream(&data, &mut |part| {
+                streamed.extend_from_slice(part);
+                frames += 1;
+            });
+            // Each chunk emits a length frame and a payload frame.
+            assert_eq!(frames, 2 * data.len().div_ceil(16 << 10));
+            let container = c.compress_to_vec(&data);
+            assert_eq!(&container[16..], &streamed[..], "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn compress_stream_empty_input_emits_nothing() {
+        let c = par(4);
+        let mut calls = 0usize;
+        c.compress_stream(b"", &mut |_| calls += 1);
+        assert_eq!(calls, 0);
     }
 
     #[test]

@@ -390,6 +390,10 @@ impl Codec for Rangez {
         compress_impl(self, input, out);
     }
 
+    fn compress_append(&self, input: &[u8], out: &mut Vec<u8>) {
+        compress_impl(self, input, out);
+    }
+
     fn decompress(
         &self,
         input: &[u8],

@@ -10,10 +10,8 @@
 //! the mutex only serializes access to the in-memory structures.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-
-use parking_lot::{Condvar, Mutex};
 
 use crate::ndp::StepOutcome;
 use crate::node::{ComputeNode, NodeError};
@@ -22,6 +20,14 @@ struct Shared {
     node: Mutex<ComputeNode>,
     work_cv: Condvar,
     stop: AtomicBool,
+}
+
+impl Shared {
+    /// Locks the node, recovering from a poisoned mutex (a panicking
+    /// host closure must not wedge the worker).
+    fn lock_node(&self) -> MutexGuard<'_, ComputeNode> {
+        self.node.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// A compute node whose NDP engine runs on a background thread.
@@ -45,7 +51,7 @@ impl BackgroundNode {
                 if worker_shared.stop.load(Ordering::Acquire) {
                     return;
                 }
-                let mut node = worker_shared.node.lock();
+                let mut node = worker_shared.lock_node();
                 match node.ndp_step() {
                     Ok(StepOutcome::Progress)
                     | Ok(StepOutcome::CompletedDrain(_)) => {
@@ -58,18 +64,24 @@ impl BackgroundNode {
                         // Wait until the host signals new work (with a
                         // timeout so pause/unblock transitions are
                         // picked up promptly).
-                        worker_shared.work_cv.wait_for(
-                            &mut node,
-                            std::time::Duration::from_millis(1),
-                        );
+                        let _ = worker_shared
+                            .work_cv
+                            .wait_timeout(
+                                node,
+                                std::time::Duration::from_millis(1),
+                            )
+                            .unwrap_or_else(|e| e.into_inner());
                     }
                     Err(_) => {
                         // Engine errors surface through host-side calls;
                         // stop pumping to avoid a hot error loop.
-                        worker_shared.work_cv.wait_for(
-                            &mut node,
-                            std::time::Duration::from_millis(5),
-                        );
+                        let _ = worker_shared
+                            .work_cv
+                            .wait_timeout(
+                                node,
+                                std::time::Duration::from_millis(5),
+                            )
+                            .unwrap_or_else(|e| e.into_inner());
                     }
                 }
             }
@@ -91,7 +103,7 @@ impl BackgroundNode {
         f: impl FnOnce(&mut ComputeNode) -> R,
     ) -> R {
         let shared = self.shared();
-        let mut node = shared.node.lock();
+        let mut node = shared.lock_node();
         let r = f(&mut node);
         drop(node);
         shared.work_cv.notify_all();
@@ -103,7 +115,7 @@ impl BackgroundNode {
     pub fn wait_drained(&self) -> Result<(), NodeError> {
         loop {
             let done = {
-                let mut node = self.shared().node.lock();
+                let mut node = self.shared().lock_node();
                 // Nudge the engine ourselves too, in case the worker is
                 // between wakeups.
                 match node.ndp_step()? {
@@ -131,7 +143,10 @@ impl BackgroundNode {
         }
         // The worker has exited; this was the last Arc holder.
         match Arc::try_unwrap(shared) {
-            Ok(shared) => shared.node.into_inner(),
+            Ok(shared) => shared
+                .node
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner()),
             Err(_) => unreachable!("worker exited; no other Arc holders"),
         }
     }

@@ -160,6 +160,9 @@ pub struct NdpStats {
     pub incremental_drains: u64,
 }
 
+/// Upper bound on recycled framed-block buffers kept by the engine.
+const FRAME_POOL_CAP: usize = 32;
+
 /// The drain engine.
 pub struct NdpEngine {
     codec: Option<Box<dyn Codec>>,
@@ -172,6 +175,10 @@ pub struct NdpEngine {
     queue: VecDeque<DrainJob>,
     paused: bool,
     next_spill_id: u64,
+    /// Recycled framed-block buffers: blocks shipped through the NIC
+    /// return their allocation here, so a steady-state drain compresses
+    /// every block into an already-sized buffer (no per-block `Vec`).
+    frame_pool: Vec<Vec<u8>>,
     /// Modeled NDP compression throughput, bytes/s (virtual-time
     /// charging).
     pub compress_bw: f64,
@@ -200,6 +207,7 @@ impl NdpEngine {
             queue: VecDeque::new(),
             paused: false,
             next_spill_id: 0,
+            frame_pool: Vec::new(),
             compress_bw,
             stats: NdpStats::default(),
         }
@@ -290,6 +298,13 @@ impl NdpEngine {
                 io.append_block(&block.key, &block.data)
                     .map_err(|e| CodecError::new(e.to_string()))?;
                 self.stats.blocks_shipped += 1;
+                // The shipped block's allocation goes back to the pool
+                // for the next compression.
+                let mut buf = block.data;
+                buf.clear();
+                if self.frame_pool.len() < FRAME_POOL_CAP {
+                    self.frame_pool.push(buf);
+                }
                 let mut completed = None;
                 if let Some(job) = self
                     .queue
@@ -399,6 +414,13 @@ impl NdpEngine {
             job.begun = true;
         }
 
+        // Acquire the output buffer before borrowing the source slot:
+        // recycled from shipped blocks, else from the NVM's spare pool.
+        let mut framed = self
+            .frame_pool
+            .pop()
+            .unwrap_or_else(|| nvm.take_buffer());
+
         let source_data: &[u8] = match &job.delta {
             Some(d) => d,
             None => {
@@ -415,16 +437,20 @@ impl NdpEngine {
         let chunk = &source_data[start..end];
         let chunk_len = chunk.len();
 
-        // Frame: [u32 raw][u32 comp][payload].
-        let payload = match &self.codec {
-            Some(c) => c.compress_to_vec(chunk),
-            None => chunk.to_vec(),
-        };
-        VClock::charge(&mut clock.ndp_compute, chunk_len, self.compress_bw);
-        let mut framed = Vec::with_capacity(payload.len() + 8);
+        // Frame: [u32 raw][u32 comp][payload], built in place — the
+        // codec appends its container directly after the header (via
+        // `compress_append`), then the comp_len placeholder is patched.
+        // No intermediate per-block `Vec`; the buffer itself is recycled
+        // from previously shipped blocks.
         framed.extend_from_slice(&(chunk_len as u32).to_le_bytes());
-        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        framed.extend_from_slice(&payload);
+        framed.extend_from_slice(&[0u8; 4]); // comp_len, patched below
+        match &self.codec {
+            Some(c) => c.compress_append(chunk, &mut framed),
+            None => framed.extend_from_slice(chunk),
+        }
+        let comp_len = framed.len() - 8;
+        framed[4..8].copy_from_slice(&(comp_len as u32).to_le_bytes());
+        VClock::charge(&mut clock.ndp_compute, chunk_len, self.compress_bw);
         self.stats.blocks_compressed += 1;
 
         job.offset = end;

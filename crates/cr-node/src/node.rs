@@ -277,9 +277,10 @@ impl ComputeNode {
 
         // Host owns the NVM for the commit: NDP paused (§4.2.1).
         self.ndp.pause();
+        let mut buf = self.nvm.take_buffer();
+        buf.extend_from_slice(data);
         let result =
-            self.nvm
-                .write(Region::Uncompressed, meta.clone(), data.to_vec());
+            self.nvm.write(Region::Uncompressed, meta.clone(), buf);
         VClock::charge(
             &mut self.clock.host_nvm,
             data.len(),
@@ -292,11 +293,9 @@ impl ComputeNode {
         // interconnect to the partner node's NVM.
         if to_partner {
             if let Some(partner) = &mut self.partner {
-                partner.write(
-                    Region::Uncompressed,
-                    meta.clone(),
-                    data.to_vec(),
-                )?;
+                let mut pbuf = partner.take_buffer();
+                pbuf.extend_from_slice(data);
+                partner.write(Region::Uncompressed, meta.clone(), pbuf)?;
                 VClock::charge(
                     &mut self.clock.host_nvm,
                     data.len(),

@@ -139,11 +139,19 @@ impl RegionBuf {
     }
 }
 
+/// Upper bound on spare buffers kept for reuse.
+const SPARE_CAP: usize = 16;
+
 /// The node-local NVM store.
 pub struct NvmStore {
     uncompressed: RegionBuf,
     compressed: RegionBuf,
     next_id: u64,
+    /// Recycled payload buffers from evicted slots, handed out via
+    /// [`NvmStore::take_buffer`] so the write path (host checkpoint
+    /// commit, NDP framed blocks) reuses wraparound capacity instead of
+    /// allocating fresh.
+    spare: Vec<Vec<u8>>,
     /// Total evictions performed (wraparound count).
     pub evictions: u64,
 }
@@ -155,7 +163,21 @@ impl NvmStore {
             uncompressed: RegionBuf::new(uncompressed_capacity),
             compressed: RegionBuf::new(compressed_capacity),
             next_id: 1,
+            spare: Vec::new(),
             evictions: 0,
+        }
+    }
+
+    /// Hands out a cleared buffer, reusing an evicted slot's allocation
+    /// when one is available.
+    pub fn take_buffer(&mut self) -> Vec<u8> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut data: Vec<u8>) {
+        if self.spare.len() < SPARE_CAP {
+            data.clear();
+            self.spare.push(data);
         }
     }
 
@@ -184,6 +206,9 @@ impl NvmStore {
     ) -> Result<SlotId, NvmError> {
         let evicted = self.region_mut(region).make_room(data.len())?;
         self.evictions += evicted.len() as u64;
+        for slot in evicted {
+            self.recycle(slot.data);
+        }
         let id = SlotId(self.next_id);
         self.next_id += 1;
         let checksum = crate::integrity::Crc64::of(&data);
@@ -426,6 +451,24 @@ mod tests {
     fn lock_missing_slot_errors() {
         let mut nvm = NvmStore::new(100, 0);
         assert_eq!(nvm.lock(SlotId(99)).unwrap_err(), NvmError::NoSuchSlot);
+    }
+
+    #[test]
+    fn evicted_buffers_are_recycled() {
+        let mut nvm = NvmStore::new(250, 0);
+        // Pool starts empty: fresh allocation.
+        assert_eq!(nvm.take_buffer().capacity(), 0);
+        nvm.write(Region::Uncompressed, meta(1, 100), vec![1; 100])
+            .unwrap();
+        nvm.write(Region::Uncompressed, meta(2, 100), vec![2; 100])
+            .unwrap();
+        // Forces eviction of slot 1; its 100-byte allocation must come
+        // back out of the pool, cleared.
+        nvm.write(Region::Uncompressed, meta(3, 100), vec![3; 100])
+            .unwrap();
+        let buf = nvm.take_buffer();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 100, "capacity {}", buf.capacity());
     }
 
     #[test]

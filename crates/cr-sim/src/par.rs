@@ -3,8 +3,8 @@
 //!
 //! Replicas of a Monte-Carlo simulation are embarrassingly parallel and
 //! uniform in cost, so a simple atomic-counter work queue over
-//! `crossbeam` scoped threads is all that is needed — no work stealing,
-//! no task graph. Results land in their input positions, so the output
+//! `std::thread::scope` is all that is needed — no work stealing, no
+//! task graph. Results land in their input positions, so the output
 //! order is deterministic regardless of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,7 +36,7 @@ where
     let next = AtomicUsize::new(0);
     let out_slots = &mut out[..];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // Hand each worker a raw view of the output buffer: every index
         // is claimed exactly once via the atomic counter, so no two
         // workers touch the same slot.
@@ -45,7 +45,7 @@ where
             let f = &f;
             let next = &next;
             let items = &items;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -58,8 +58,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     out.into_iter()
         .map(|slot| slot.expect("slot not filled"))

@@ -6,8 +6,7 @@
 //! other (common-random-numbers variance reduction across configurations
 //! sharing a seed).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use cr_rand::ChaCha8;
 
 /// Stream identifiers, mixed into the seed so different uses of the same
 /// replica seed are decorrelated.
@@ -34,7 +33,7 @@ impl StreamKind {
 /// A deterministic random stream derived from `(seed, kind)`.
 #[derive(Debug, Clone)]
 pub struct Stream {
-    rng: ChaCha8Rng,
+    rng: ChaCha8,
 }
 
 impl Stream {
@@ -46,28 +45,28 @@ impl Stream {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         Stream {
-            rng: ChaCha8Rng::seed_from_u64(z),
+            rng: ChaCha8::seed_from_u64(z),
         }
     }
 
     /// Samples an exponential variate with the given mean.
     pub fn exp(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        // Inverse-CDF with u in (0, 1]: -mean * ln(u). `gen` yields
+        // Inverse-CDF with u in (0, 1]: -mean * ln(u). `gen_f64` yields
         // [0, 1), so flip to (0, 1].
-        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        let u: f64 = 1.0 - self.rng.gen_f64();
         -mean * u.ln()
     }
 
     /// Samples a Bernoulli with probability `p` of `true`.
     pub fn bernoulli(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p));
-        self.rng.gen::<f64>() < p
+        self.rng.gen_f64() < p
     }
 
     /// Samples a uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen()
+        self.rng.gen_f64()
     }
 }
 

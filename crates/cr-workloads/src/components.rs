@@ -21,16 +21,15 @@
 //! (0–52): lower values zero more trailing bytes and compress better,
 //! emulating fields whose physical precision is far below f64 epsilon.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use cr_rand::ChaCha8;
 
 /// Deterministic RNG for a component, decorrelated from other components
 /// of the same image by `salt`.
-pub fn component_rng(seed: u64, salt: u64) -> ChaCha8Rng {
+pub fn component_rng(seed: u64, salt: u64) -> ChaCha8 {
     let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z ^= z >> 31;
-    ChaCha8Rng::seed_from_u64(z)
+    ChaCha8::seed_from_u64(z)
 }
 
 /// Masks an f64 to keep only the top `quant_bits` mantissa bits.
@@ -47,7 +46,7 @@ pub fn zero_region(out: &mut Vec<u8>, len: usize) {
 }
 
 /// Appends `len` incompressible random bytes.
-pub fn random_bytes(out: &mut Vec<u8>, len: usize, rng: &mut ChaCha8Rng) {
+pub fn random_bytes(out: &mut Vec<u8>, len: usize, rng: &mut ChaCha8) {
     let start = out.len();
     out.resize(start + len, 0);
     rng.fill(&mut out[start..]);
@@ -60,7 +59,7 @@ pub fn lattice_positions(
     out: &mut Vec<u8>,
     n: usize,
     quant_bits: u32,
-    rng: &mut ChaCha8Rng,
+    rng: &mut ChaCha8,
 ) {
     let spacing = 1.0f64;
     let side = (n as f64).powf(1.0 / 3.0).ceil() as usize;
@@ -72,7 +71,7 @@ pub fn lattice_positions(
                     break 'outer;
                 }
                 for idx in [i, j, k] {
-                    let jitter: f64 = (rng.gen::<f64>() - 0.5) * 0.1;
+                    let jitter: f64 = (rng.gen_f64() - 0.5) * 0.1;
                     let x = quantize(idx as f64 * spacing + jitter, quant_bits);
                     out.extend_from_slice(&x.to_le_bytes());
                 }
@@ -88,12 +87,12 @@ pub fn smooth_field(
     out: &mut Vec<u8>,
     n: usize,
     quant_bits: u32,
-    rng: &mut ChaCha8Rng,
+    rng: &mut ChaCha8,
 ) {
-    let a1: f64 = rng.gen_range(0.5..2.0);
-    let a2: f64 = rng.gen_range(0.1..0.5);
-    let f1: f64 = rng.gen_range(0.001..0.01);
-    let f2: f64 = rng.gen_range(0.01..0.05);
+    let a1: f64 = rng.gen_range(0.5, 2.0);
+    let a2: f64 = rng.gen_range(0.1, 0.5);
+    let f1: f64 = rng.gen_range(0.001, 0.01);
+    let f2: f64 = rng.gen_range(0.01, 0.05);
     for i in 0..n {
         let t = i as f64;
         let v = a1 * (f1 * t).sin() + a2 * (f2 * t).cos();
@@ -121,12 +120,12 @@ pub fn gaussian_values(
     out: &mut Vec<u8>,
     n: usize,
     quant_bits: u32,
-    rng: &mut ChaCha8Rng,
+    rng: &mut ChaCha8,
 ) {
     let mut i = 0;
     while i < n {
-        let u1: f64 = rng.gen_range(1e-12..1.0);
-        let u2: f64 = rng.gen::<f64>();
+        let u1: f64 = rng.gen_range(1e-12, 1.0);
+        let u2: f64 = rng.gen_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
         for v in [r * c, r * s] {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a commit must pass, with no network access.
+#
+#   build (release)  ->  tests  ->  clippy (deny warnings)
+#
+# The bench harness targets are feature-gated (`bench-harness`) and are
+# compiled — not run — here so they cannot rot.
+#
+# Usage: scripts/tier1.sh   (from the repo root or anywhere inside it)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: release build =="
+cargo build --release --offline --workspace
+
+echo "== tier1: tests =="
+cargo test --offline --workspace --quiet
+
+echo "== tier1: bench harness compiles =="
+cargo build --offline -p cr-bench --features bench-harness --benches
+
+echo "== tier1: clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== tier1: OK =="

@@ -1,11 +1,19 @@
 //! Cross-crate codec integration: every codec must losslessly
 //! round-trip every mini-app's synthetic checkpoint images, including
-//! property-based tests over arbitrary inputs and adversarial
-//! containers.
+//! randomized (seeded, deterministic) sweeps over arbitrary inputs and
+//! adversarial containers.
 
+use cr_rand::ChaCha8;
+use ndp_checkpoint::cr_compress::parallel::ParallelCodec;
 use ndp_checkpoint::cr_compress::registry::{by_name, study_codecs};
+use ndp_checkpoint::cr_compress::Codec;
 use ndp_checkpoint::cr_workloads::{all_mini_apps, CheckpointGenerator};
-use proptest::prelude::*;
+
+fn random_bytes(rng: &mut ChaCha8, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill(&mut v);
+    v
+}
 
 #[test]
 fn every_codec_roundtrips_every_miniapp() {
@@ -74,82 +82,176 @@ fn codecs_reject_each_others_containers() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn prop_gz_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
-        let c = by_name("gz", 3).unwrap();
-        let compressed = c.compress_to_vec(&data);
-        prop_assert_eq!(c.decompress_to_vec(&compressed).unwrap(), data);
+#[test]
+fn codecs_roundtrip_arbitrary_bytes() {
+    // Seeded sweep standing in for the former proptest cases: a range
+    // of lengths of incompressible data through every family.
+    let mut rng = ChaCha8::seed_from_u64(0xC0DEC);
+    for len in [0usize, 1, 2, 7, 100, 999, 4096, 8_000, 20_000] {
+        let data = random_bytes(&mut rng, len);
+        for codec in study_codecs() {
+            let compressed = codec.compress_to_vec(&data);
+            assert_eq!(
+                codec.decompress_to_vec(&compressed).unwrap(),
+                data,
+                "{} failed at len {len}",
+                codec.label()
+            );
+        }
     }
+}
 
-    #[test]
-    fn prop_lzf_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
-        let c = by_name("lzf", 1).unwrap();
-        let compressed = c.compress_to_vec(&data);
-        prop_assert_eq!(c.decompress_to_vec(&compressed).unwrap(), data);
-    }
-
-    #[test]
-    fn prop_bwz_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
-        let c = by_name("bwz", 1).unwrap();
-        let compressed = c.compress_to_vec(&data);
-        prop_assert_eq!(c.decompress_to_vec(&compressed).unwrap(), data);
-    }
-
-    #[test]
-    fn prop_rz_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
-        let c = by_name("rz", 1).unwrap();
-        let compressed = c.compress_to_vec(&data);
-        prop_assert_eq!(c.decompress_to_vec(&compressed).unwrap(), data);
-    }
-
-    #[test]
-    fn prop_roundtrips_structured_runs(
-        runs in proptest::collection::vec((any::<u8>(), 1usize..500), 1..50)
-    ) {
-        // Run-length-structured data (checkpoint-like): all codecs.
+#[test]
+fn codecs_roundtrip_structured_runs() {
+    // Run-length-structured data (checkpoint-like): all codecs.
+    let mut rng = ChaCha8::seed_from_u64(0x5EED);
+    for _case in 0..8 {
         let mut data = Vec::new();
-        for (byte, len) in runs {
+        let nruns = 1 + (rng.next_u32() % 50) as usize;
+        for _ in 0..nruns {
+            let byte = rng.next_u32() as u8;
+            let len = 1 + (rng.next_u32() % 500) as usize;
             data.extend(std::iter::repeat_n(byte, len));
         }
         for codec in study_codecs() {
             let compressed = codec.compress_to_vec(&data);
-            prop_assert_eq!(
-                &codec.decompress_to_vec(&compressed).unwrap(),
-                &data,
-                "{} failed", codec.label()
+            assert_eq!(
+                codec.decompress_to_vec(&compressed).unwrap(),
+                data,
+                "{} failed",
+                codec.label()
             );
         }
     }
+}
 
-    #[test]
-    fn prop_truncated_streams_error_not_panic(
-        data in proptest::collection::vec(any::<u8>(), 100..2_000),
-        cut_frac in 0.0f64..0.99
-    ) {
-        for codec in study_codecs() {
-            let compressed = codec.compress_to_vec(&data);
-            let cut = ((compressed.len() as f64) * cut_frac) as usize;
+#[test]
+fn compress_append_matches_compress_for_all_codecs() {
+    // The zero-copy append entry point must produce the same container
+    // bytes as `compress`, after any prefix.
+    let image = all_mini_apps()[0].generate(1 << 18, 3);
+    for codec in study_codecs() {
+        let clean = codec.compress_to_vec(&image);
+        let mut appended = b"prefix".to_vec();
+        codec.compress_append(&image, &mut appended);
+        assert_eq!(
+            &appended[6..],
+            &clean[..],
+            "{} compress_append diverged",
+            codec.label()
+        );
+        assert_eq!(&appended[..6], b"prefix");
+    }
+}
+
+#[test]
+fn truncated_streams_error_not_panic() {
+    let mut rng = ChaCha8::seed_from_u64(0x72C4);
+    let data = random_bytes(&mut rng, 1500);
+    for codec in study_codecs() {
+        let compressed = codec.compress_to_vec(&data);
+        for i in 0..40 {
+            let cut = compressed.len() * i / 40;
             // Either error or (rarely, for lucky prefixes) a wrong
             // result — but never a panic.
             let _ = codec.decompress_to_vec(&compressed[..cut]);
         }
     }
+}
 
-    #[test]
-    fn prop_corrupted_streams_never_panic(
-        seed_data in proptest::collection::vec(any::<u8>(), 200..2_000),
-        flip_at in 0usize..1_000,
-        flip_mask in 1u8..=255
-    ) {
-        for codec in study_codecs() {
-            let mut compressed = codec.compress_to_vec(&seed_data);
-            if compressed.is_empty() { continue; }
-            let idx = flip_at % compressed.len();
-            compressed[idx] ^= flip_mask;
-            let _ = codec.decompress_to_vec(&compressed);
+#[test]
+fn corrupted_streams_never_panic() {
+    let mut rng = ChaCha8::seed_from_u64(0xF11B);
+    let seed_data = random_bytes(&mut rng, 1200);
+    for codec in study_codecs() {
+        let compressed = codec.compress_to_vec(&seed_data);
+        if compressed.is_empty() {
+            continue;
+        }
+        for _ in 0..64 {
+            let idx = rng.next_u64() as usize % compressed.len();
+            let mask = (rng.next_u32() % 255 + 1) as u8;
+            let mut bad = compressed.clone();
+            bad[idx] ^= mask;
+            let _ = codec.decompress_to_vec(&bad);
+        }
+    }
+}
+
+// ---- ParallelCodec chunk-boundary and container edge cases ----
+
+const CHUNK: usize = 8 << 10;
+
+fn par_codec(threads: usize) -> ParallelCodec {
+    ParallelCodec::new(by_name("gz", 1).unwrap(), threads, CHUNK)
+}
+
+#[test]
+fn parallel_roundtrips_chunk_boundary_lengths() {
+    // The adversarial lengths for a chunked container: empty, single
+    // byte, below one chunk, exact multiples, and one past a multiple.
+    let mut rng = ChaCha8::seed_from_u64(0xB0DD);
+    let lens = [
+        0usize,
+        1,
+        CHUNK - 1,
+        CHUNK,
+        CHUNK + 1,
+        3 * CHUNK,
+        3 * CHUNK + 1,
+        5 * CHUNK - 1,
+    ];
+    for threads in [1usize, 4] {
+        let c = par_codec(threads);
+        for &len in &lens {
+            let data = random_bytes(&mut rng, len);
+            let compressed = c.compress_to_vec(&data);
+            assert_eq!(
+                c.decompress_to_vec(&compressed).unwrap(),
+                data,
+                "threads {threads} len {len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_corrupt_frame_headers_error_not_panic() {
+    let mut rng = ChaCha8::seed_from_u64(0xBADF);
+    let data = random_bytes(&mut rng, 3 * CHUNK + 17);
+    let c = par_codec(2);
+    let good = c.compress_to_vec(&data);
+
+    // Oversized first chunk frame length: claims more bytes than the
+    // container holds.
+    let mut bad = good.clone();
+    bad[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(c.decompress_to_vec(&bad).is_err(), "oversized frame len");
+
+    // Zero chunk size in the container header.
+    let mut bad = good.clone();
+    bad[12..16].copy_from_slice(&0u32.to_le_bytes());
+    assert!(c.decompress_to_vec(&bad).is_err(), "zero chunk size");
+
+    // Total-length header inflated: frame count no longer matches.
+    let mut bad = good.clone();
+    bad[4..12].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(c.decompress_to_vec(&bad).is_err(), "inflated total");
+
+    // Truncated mid-frame-header (cut 2 bytes into a length field).
+    let bad = &good[..18];
+    assert!(c.decompress_to_vec(bad).is_err(), "truncated frame header");
+
+    // Bit flips across the whole container: error or mismatch detection,
+    // never a panic.
+    for _ in 0..64 {
+        let idx = rng.next_u64() as usize % good.len();
+        let mut bad = good.clone();
+        bad[idx] ^= 0x40;
+        if let Ok(out) = c.decompress_to_vec(&bad) {
+            // A surviving decode must at least preserve the length
+            // contract enforced by the container.
+            assert_eq!(out.len(), data.len());
         }
     }
 }

@@ -1,51 +1,69 @@
-//! Property-based tests over the model space: for arbitrary (sane)
-//! systems and strategies, both backends must produce valid, consistent
-//! results — no panics, no accounting leaks, sensible monotonicities.
+//! Property tests over the model space: for arbitrary (sane) systems
+//! and strategies, both backends must produce valid, consistent results
+//! — no panics, no accounting leaks, sensible monotonicities.
+//!
+//! The parameter space is sampled with a seeded ChaCha8 stream rather
+//! than a property-testing framework, so the suite is fully
+//! deterministic and dependency-free; each property sweeps a few dozen
+//! drawn configurations.
 
+use cr_rand::ChaCha8;
 use ndp_checkpoint::prelude::*;
-use proptest::prelude::*;
-// Both preludes export a name `Strategy` (the C/R strategy enum and the
-// proptest trait); import both explicitly so neither glob is ambiguous.
+// Both preludes could export a name `Strategy`; import the C/R enum
+// explicitly.
 use ndp_checkpoint::cr_core::params::Strategy;
-use proptest::strategy::Strategy as PropStrategy;
 
-/// Strategy-space generator: a random but physically sensible system.
-fn arb_system() -> impl PropStrategy<Value = SystemParams> {
-    (
-        600.0f64..7200.0,          // MTTI: 10 min .. 2 h
-        10e9f64..200e9,            // checkpoint: 10..200 GB
-        1e9f64..30e9,              // NVM: 1..30 GB/s
-        20e6f64..500e6,            // I/O share: 20..500 MB/s
-    )
-        .prop_map(|(mtti, size, nvm, io)| SystemParams {
-            mtti,
-            checkpoint_bytes: size,
-            local_bw: nvm,
-            io_bw_per_node: io,
-        })
+/// Deterministic generator over the physically sensible model space.
+struct ParamGen {
+    rng: ChaCha8,
 }
 
-fn arb_host_strategy() -> impl PropStrategy<Value = Strategy> {
-    (1u32..60, 0.0f64..=1.0, proptest::option::of(0.2f64..0.9)).prop_map(
-        |(ratio, p_local, factor)| Strategy::LocalIoHost {
+impl ParamGen {
+    fn new(seed: u64) -> Self {
+        ParamGen {
+            rng: ChaCha8::seed_from_u64(seed),
+        }
+    }
+
+    fn system(&mut self) -> SystemParams {
+        SystemParams {
+            mtti: self.rng.gen_range(600.0, 7200.0), // 10 min .. 2 h
+            checkpoint_bytes: self.rng.gen_range(10e9, 200e9),
+            local_bw: self.rng.gen_range(1e9, 30e9),
+            io_bw_per_node: self.rng.gen_range(20e6, 500e6),
+        }
+    }
+
+    fn maybe_factor(&mut self, lo: f64, hi: f64) -> Option<f64> {
+        if self.rng.gen_f64() < 0.5 {
+            Some(self.rng.gen_range(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    fn host_strategy(&mut self) -> Strategy {
+        Strategy::LocalIoHost {
             interval: Some(150.0),
-            ratio,
-            p_local,
-            compression: factor.map(CompressionSpec::gzip1_host_with_factor),
-        },
-    )
-}
+            ratio: self.rng.gen_range(1.0, 60.0) as u32,
+            p_local: self.rng.gen_f64(),
+            compression: self
+                .maybe_factor(0.2, 0.9)
+                .map(CompressionSpec::gzip1_host_with_factor),
+        }
+    }
 
-fn arb_ndp_strategy() -> impl PropStrategy<Value = Strategy> {
-    (0.0f64..=1.0, proptest::option::of(0.2f64..0.9)).prop_map(
-        |(p_local, factor)| Strategy::LocalIoNdp {
+    fn ndp_strategy(&mut self) -> Strategy {
+        Strategy::LocalIoNdp {
             interval: Some(150.0),
             ratio: None,
-            p_local,
-            compression: factor.map(CompressionSpec::gzip1_ndp_with_factor),
+            p_local: self.rng.gen_f64(),
+            compression: self
+                .maybe_factor(0.2, 0.9)
+                .map(CompressionSpec::gzip1_ndp_with_factor),
             drain_lag: Default::default(),
-        },
-    )
+        }
+    }
 }
 
 fn quick_sim(sys: &SystemParams, strat: &Strategy, seed: u64) -> cr_sim::SimResult {
@@ -58,93 +76,102 @@ fn quick_sim(sys: &SystemParams, strat: &Strategy, seed: u64) -> cr_sim::SimResu
     cr_sim::simulate(sys, strat, &opts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn analytic_progress_is_valid_probability(
-        sys in arb_system(),
-        strat in arb_host_strategy()
-    ) {
+#[test]
+fn analytic_progress_is_valid_probability() {
+    let mut g = ParamGen::new(0xA11C);
+    for case in 0..24 {
+        let sys = g.system();
+        let strat = g.host_strategy();
         let sol = cr_core::analytic::solve_cycle(&sys, &strat);
         let p = sol.progress_rate();
-        prop_assert!(p > 0.0 && p <= 1.0, "progress {p}");
-        prop_assert!(sol.breakdown.validate().is_ok());
+        assert!(p > 0.0 && p <= 1.0, "case {case}: progress {p}");
+        assert!(sol.breakdown.validate().is_ok(), "case {case}");
         // Buckets partition the cycle.
-        prop_assert!(
+        assert!(
             (sol.breakdown.total() - sol.cycle_time).abs()
-                <= 1e-6 * sol.cycle_time
+                <= 1e-6 * sol.cycle_time,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn simulator_accounting_never_leaks(
-        sys in arb_system(),
-        strat in arb_host_strategy(),
-        seed in 0u64..1000
-    ) {
-        let r = quick_sim(&sys, &strat, seed);
-        prop_assert!(r.breakdown.validate().is_ok());
-        prop_assert!(
+#[test]
+fn simulator_accounting_never_leaks() {
+    let mut g = ParamGen::new(0xACC7);
+    for case in 0..12 {
+        let sys = g.system();
+        let strat = g.host_strategy();
+        let r = quick_sim(&sys, &strat, case);
+        assert!(r.breakdown.validate().is_ok(), "case {case}");
+        assert!(
             (r.breakdown.total() - r.stats.wall_time).abs()
-                <= 1e-6 * r.stats.wall_time.max(1.0)
+                <= 1e-6 * r.stats.wall_time.max(1.0),
+            "case {case}"
         );
-        prop_assert!(
-            (r.breakdown.compute - r.stats.work_done).abs() < 1e-6
+        assert!(
+            (r.breakdown.compute - r.stats.work_done).abs() < 1e-6,
+            "case {case}"
         );
         let p = r.breakdown.progress_rate();
-        prop_assert!(p > 0.0 && p <= 1.0);
+        assert!(p > 0.0 && p <= 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn simulator_is_deterministic(
-        sys in arb_system(),
-        strat in arb_ndp_strategy(),
-        seed in 0u64..1000
-    ) {
-        let a = quick_sim(&sys, &strat, seed);
-        let b = quick_sim(&sys, &strat, seed);
-        prop_assert_eq!(a.breakdown, b.breakdown);
-        prop_assert_eq!(a.stats, b.stats);
+#[test]
+fn simulator_is_deterministic() {
+    let mut g = ParamGen::new(0xDE7E);
+    for case in 0..6 {
+        let sys = g.system();
+        let strat = g.ndp_strategy();
+        let a = quick_sim(&sys, &strat, case);
+        let b = quick_sim(&sys, &strat, case);
+        assert_eq!(a.breakdown, b.breakdown, "case {case}");
+        assert_eq!(a.stats, b.stats, "case {case}");
     }
+}
 
-    #[test]
-    fn analytic_progress_monotone_in_mtti(
-        sys in arb_system(),
-        strat in arb_host_strategy()
-    ) {
+#[test]
+fn analytic_progress_monotone_in_mtti() {
+    let mut g = ParamGen::new(0x4771);
+    for case in 0..24 {
+        let sys = g.system();
+        let strat = g.host_strategy();
         let lo = cr_core::analytic::progress_rate(&sys, &strat);
         let better = sys.with_mtti(sys.mtti * 2.0);
         let hi = cr_core::analytic::progress_rate(&better, &strat);
-        prop_assert!(
+        assert!(
             hi >= lo - 1e-9,
-            "progress fell when failures halved: {lo} -> {hi}"
+            "case {case}: progress fell when failures halved: {lo} -> {hi}"
         );
     }
+}
 
-    #[test]
-    fn analytic_progress_monotone_in_io_bandwidth(
-        sys in arb_system(),
-        strat in arb_host_strategy()
-    ) {
+#[test]
+fn analytic_progress_monotone_in_io_bandwidth() {
+    let mut g = ParamGen::new(0x10B0);
+    for case in 0..24 {
+        let sys = g.system();
+        let strat = g.host_strategy();
         let lo = cr_core::analytic::progress_rate(&sys, &strat);
         let better = SystemParams {
             io_bw_per_node: sys.io_bw_per_node * 4.0,
             ..sys
         };
         let hi = cr_core::analytic::progress_rate(&better, &strat);
-        prop_assert!(
+        assert!(
             hi >= lo - 1e-9,
-            "progress fell with faster I/O: {lo} -> {hi}"
+            "case {case}: progress fell with faster I/O: {lo} -> {hi}"
         );
     }
+}
 
-    #[test]
-    fn ndp_never_loses_to_host_at_same_settings(
-        sys in arb_system(),
-        p_local in 0.1f64..0.99,
-        factor in proptest::option::of(0.3f64..0.9)
-    ) {
+#[test]
+fn ndp_never_loses_to_host_at_same_settings() {
+    let mut g = ParamGen::new(0x0DDB);
+    for case in 0..24 {
+        let sys = g.system();
+        let p_local = g.rng.gen_range(0.1, 0.99);
+        let factor = g.maybe_factor(0.3, 0.9);
         let host = Strategy::LocalIoHost {
             interval: Some(150.0),
             ratio: cr_core::params::derive_costs(
@@ -173,18 +200,20 @@ proptest! {
         // only help (lag-free accounting).
         let ph = cr_core::analytic::progress_rate(&sys, &host);
         let pn = cr_core::analytic::progress_rate(&sys, &ndp);
-        prop_assert!(
+        assert!(
             pn >= ph - 1e-9,
-            "NDP {pn} lost to host {ph} at identical settings"
+            "case {case}: NDP {pn} lost to host {ph} at identical settings"
         );
     }
+}
 
-    #[test]
-    fn sim_and_analytic_agree_loosely_on_host_configs(
-        sys in arb_system(),
-        ratio in 2u32..40,
-        p_local in 0.3f64..0.98
-    ) {
+#[test]
+fn sim_and_analytic_agree_loosely_on_host_configs() {
+    let mut g = ParamGen::new(0x57A7);
+    for case in 0..8 {
+        let sys = g.system();
+        let ratio = g.rng.gen_range(2.0, 40.0) as u32;
+        let p_local = g.rng.gen_range(0.3, 0.98);
         let strat = Strategy::local_io_host(ratio, p_local, None);
         let a = cr_core::analytic::progress_rate(&sys, &strat);
         let opts = SimOptions {
@@ -194,9 +223,9 @@ proptest! {
             max_wall: 1e12,
         };
         let s = simulate_avg(&sys, &strat, &opts, 2).progress_rate();
-        prop_assert!(
+        assert!(
             (a - s).abs() < 0.08,
-            "analytic {a} vs sim {s} (ratio {ratio}, p {p_local})"
+            "case {case}: analytic {a} vs sim {s} (ratio {ratio}, p {p_local})"
         );
     }
 }
