@@ -60,7 +60,11 @@ impl BackgroundNode {
                     }
                     Ok(StepOutcome::Idle)
                     | Ok(StepOutcome::Paused)
-                    | Ok(StepOutcome::Stalled) => {
+                    | Ok(StepOutcome::Stalled)
+                    | Ok(StepOutcome::Retrying) => {
+                        // Retrying covers fault backoff: the blocked
+                        // job's deadline is measured in engine steps, so
+                        // waking on the timeout keeps it advancing.
                         // Wait until the host signals new work (with a
                         // timeout so pause/unblock transitions are
                         // picked up promptly).

@@ -33,6 +33,7 @@
 #![warn(clippy::all)]
 
 pub mod background;
+pub mod faults;
 pub mod incremental;
 pub mod integrity;
 pub mod metadata;

@@ -27,6 +27,11 @@ pub struct CheckpointMeta {
     /// For incremental checkpoints: the `ckpt_id` of the base this
     /// delta applies to (§7 future-work drains). `None` = full image.
     pub base: Option<u64>,
+    /// CRC-64 of the original uncompressed application image, carried
+    /// end-to-end so a restore can verify the final reassembled bytes
+    /// no matter which level or encoding served them. `0` = not
+    /// recorded (internal metadata such as spill frames).
+    pub content_crc: u64,
 }
 
 impl CheckpointMeta {
@@ -40,6 +45,7 @@ impl CheckpointMeta {
             taken_at,
             codec: None,
             base: None,
+            content_crc: 0,
         }
     }
 
@@ -85,6 +91,7 @@ impl CheckpointMeta {
                 out.extend_from_slice(&b.to_le_bytes());
             }
         }
+        out.extend_from_slice(&self.content_crc.to_le_bytes());
         out
     }
 
@@ -134,6 +141,8 @@ impl CheckpointMeta {
             )),
             _ => return Err(MetaError::Truncated),
         };
+        let content_crc =
+            u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
         Ok(CheckpointMeta {
             app_id,
             rank,
@@ -142,6 +151,7 @@ impl CheckpointMeta {
             taken_at,
             codec,
             base,
+            content_crc,
         })
     }
 }
@@ -201,6 +211,13 @@ mod tests {
         let c = m.compressed_with("gz(1)");
         assert_eq!(CheckpointMeta::decode(&c.encode()).unwrap(), c);
         assert_eq!(c.codec.as_deref(), Some("gz(1)"));
+    }
+
+    #[test]
+    fn content_crc_round_trips() {
+        let mut m = sample();
+        m.content_crc = 0xDEAD_BEEF_CAFE_F00D;
+        assert_eq!(CheckpointMeta::decode(&m.encode()).unwrap(), m);
     }
 
     #[test]

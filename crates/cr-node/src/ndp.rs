@@ -23,6 +23,7 @@ use std::collections::{HashMap, VecDeque};
 
 use cr_compress::{Codec, CodecError};
 
+use crate::faults::{DegradePolicy, FaultPlane, FaultSite, RetryPolicy};
 use crate::incremental::IncrementalEncoder;
 use crate::metadata::CheckpointMeta;
 use crate::nvm::{NvmStore, Region, SlotId};
@@ -125,6 +126,23 @@ struct DrainJob {
     compression_done: bool,
     /// Number of blocks handed to NIC/spill but not yet shipped.
     unshipped: usize,
+    /// Consecutive transient-failure retries charged to this job.
+    attempts: u32,
+    /// Engine step before which this job is backing off (exclusive).
+    blocked_until: u64,
+    /// Codec permanently disabled for this job (degraded drain after a
+    /// codec fault).
+    force_uncompressed: bool,
+}
+
+impl DrainJob {
+    /// All blocks durable remotely; only `finalize` remains.
+    fn ready_to_finalize(&self) -> bool {
+        self.begun
+            && self.compression_done
+            && self.spilled.is_empty()
+            && self.unshipped == 0
+    }
 }
 
 /// Result of one engine step.
@@ -141,6 +159,10 @@ pub enum StepOutcome {
     /// Cannot proceed: NIC full under `Pause` policy, or NVM compressed
     /// region full under `Spill`.
     Stalled,
+    /// A transient injected fault was absorbed this step: the affected
+    /// drain is backing off, being re-driven, or was degraded. The
+    /// engine is still live and later steps make progress.
+    Retrying,
 }
 
 /// Counters for the engine.
@@ -158,6 +180,22 @@ pub struct NdpStats {
     pub drains_cancelled: u64,
     /// Drains shipped as incremental deltas rather than full images.
     pub incremental_drains: u64,
+    /// Blocks retransmitted after a dropped NIC transfer.
+    pub blocks_retransmitted: u64,
+    /// Transient remote I/O errors absorbed by retry/backoff.
+    pub io_retries: u64,
+    /// Drains cancelled after exhausting their retry budget: the
+    /// checkpoint stays recoverable locally (and at the partner), but
+    /// remote-level coverage degraded for it.
+    pub drains_degraded: u64,
+    /// NDP engine crashes survived by re-driving in-flight drains.
+    pub ndp_crashes: u64,
+    /// Drains restarted uncompressed after a codec fault.
+    pub codec_fallbacks: u64,
+    /// Drains cancelled because their source slot failed integrity
+    /// verification: silent NVM rot is never propagated into a remote
+    /// object.
+    pub drains_source_corrupt: u64,
 }
 
 /// Upper bound on recycled framed-block buffers kept by the engine.
@@ -184,6 +222,13 @@ pub struct NdpEngine {
     pub compress_bw: f64,
     /// Event counters.
     pub stats: NdpStats,
+    /// Retry/backoff budget for transient remote failures.
+    retry: RetryPolicy,
+    /// What to do when a drain exhausts its retries or the codec fails.
+    degrade: DegradePolicy,
+    /// Monotonic step counter (the engine's clock; backoff deadlines are
+    /// measured against it).
+    steps: u64,
 }
 
 impl NdpEngine {
@@ -210,7 +255,17 @@ impl NdpEngine {
             frame_pool: Vec::new(),
             compress_bw,
             stats: NdpStats::default(),
+            retry: RetryPolicy::default(),
+            degrade: DegradePolicy::default(),
+            steps: 0,
         }
+    }
+
+    /// Installs the retry and degradation policies (defaults are sane;
+    /// chaos configs tighten or loosen them).
+    pub fn set_policies(&mut self, retry: RetryPolicy, degrade: DegradePolicy) {
+        self.retry = retry;
+        self.degrade = degrade;
     }
 
     /// Enables incremental drains (§7 future work): the NDP diffs each
@@ -260,6 +315,9 @@ impl NdpEngine {
             spilled: VecDeque::new(),
             compression_done: false,
             unshipped: 0,
+            attempts: 0,
+            blocked_until: 0,
+            force_uncompressed: false,
         });
     }
 
@@ -280,56 +338,114 @@ impl NdpEngine {
         self.paused = false;
     }
 
-    /// Performs one unit of drain work.
+    /// Performs one unit of drain work with no fault injection.
     pub fn step(
         &mut self,
         nvm: &mut NvmStore,
         io: &mut IoNode,
         clock: &mut VClock,
     ) -> Result<StepOutcome, CodecError> {
+        let mut plane = FaultPlane::disabled();
+        self.step_faulty(nvm, io, clock, &mut plane)
+    }
+
+    /// Performs one unit of drain work, consulting the fault plane at
+    /// every injection site. With a disabled plane this is exactly
+    /// [`NdpEngine::step`].
+    pub fn step_faulty(
+        &mut self,
+        nvm: &mut NvmStore,
+        io: &mut IoNode,
+        clock: &mut VClock,
+        faults: &mut FaultPlane,
+    ) -> Result<StepOutcome, CodecError> {
         if self.paused {
             return Ok(StepOutcome::Paused);
+        }
+        self.steps += 1;
+        faults.tick();
+
+        // 0. Finalize a fully-shipped object. Finalization is its own
+        // step (and its own fault site): the remote may crash before the
+        // object is sealed, in which case the whole drain is re-driven
+        // idempotently from the still-locked slot.
+        if let Some(pos) = self.queue.iter().position(|j| {
+            j.ready_to_finalize() && j.blocked_until <= self.steps
+        }) {
+            if faults.fire(FaultSite::IoCrash) {
+                // Crash-before-finalize: the partial remote object is
+                // gone; rewind and re-drive the drain.
+                return Ok(self.transient_failure(pos, nvm, io, true));
+            }
+            if faults.fire(FaultSite::IoFinalize) {
+                self.stats.io_retries += 1;
+                return Ok(self.transient_failure(pos, nvm, io, false));
+            }
+            let job = &self.queue[pos];
+            let key = job.key.clone();
+            let slot = job.slot;
+            io.finalize(&key)
+                .map_err(|e| CodecError::new(e.to_string()))?;
+            self.stats.drains_completed += 1;
+            self.queue.remove(pos);
+            return Ok(StepOutcome::CompletedDrain(slot));
         }
 
         // 1. Ship a block from the NIC if the network accepts traffic.
         if !self.nic.blocked {
-            if let Some(block) = self.nic.queue.pop_front() {
-                VClock::charge(&mut clock.io_link, block.data.len(), io.bandwidth);
-                io.append_block(&block.key, &block.data)
-                    .map_err(|e| CodecError::new(e.to_string()))?;
-                self.stats.blocks_shipped += 1;
-                // The shipped block's allocation goes back to the pool
-                // for the next compression.
-                let mut buf = block.data;
-                buf.clear();
-                if self.frame_pool.len() < FRAME_POOL_CAP {
-                    self.frame_pool.push(buf);
-                }
-                let mut completed = None;
-                if let Some(job) = self
-                    .queue
-                    .iter_mut()
-                    .find(|j| j.key == block.key)
-                {
-                    job.unshipped -= 1;
-                    // Completion is decided at ship time: all input
-                    // compressed, nothing spilled, nothing left in the
-                    // NIC for this object.
-                    if job.compression_done
-                        && job.spilled.is_empty()
-                        && job.unshipped == 0
-                    {
-                        io.finalize(&block.key)
-                            .map_err(|e| CodecError::new(e.to_string()))?;
-                        self.stats.drains_completed += 1;
-                        completed = Some(job.slot);
+            let front = self.nic.queue.front().map(|b| b.key.clone());
+            if let Some(front_key) = front {
+                let jpos =
+                    self.queue.iter().position(|j| j.key == front_key);
+                // Head-of-line wait while the owning job backs off.
+                let gated = jpos
+                    .is_some_and(|p| self.queue[p].blocked_until > self.steps);
+                if !gated {
+                    if faults.fire(FaultSite::NicStall) {
+                        return Ok(StepOutcome::Retrying);
                     }
+                    if faults.fire(FaultSite::NicDrop) {
+                        // The transfer was lost in flight: the block
+                        // stays queued for retransmission, but the link
+                        // time is spent.
+                        let len = self
+                            .nic
+                            .queue
+                            .front()
+                            .map_or(0, |b| b.data.len());
+                        VClock::charge(&mut clock.io_link, len, io.bandwidth);
+                        self.stats.blocks_retransmitted += 1;
+                        return Ok(StepOutcome::Retrying);
+                    }
+                    if let Some(pos) = jpos {
+                        if faults.fire(FaultSite::IoAppend) {
+                            self.stats.io_retries += 1;
+                            return Ok(
+                                self.transient_failure(pos, nvm, io, false)
+                            );
+                        }
+                    }
+                    let block =
+                        self.nic.queue.pop_front().expect("front checked");
+                    VClock::charge(
+                        &mut clock.io_link,
+                        block.data.len(),
+                        io.bandwidth,
+                    );
+                    io.append_block(&block.key, &block.data)
+                        .map_err(|e| CodecError::new(e.to_string()))?;
+                    self.stats.blocks_shipped += 1;
+                    // The shipped block's allocation goes back to the
+                    // pool for the next compression.
+                    self.recycle(block.data);
+                    if let Some(job) =
+                        self.queue.iter_mut().find(|j| j.key == block.key)
+                    {
+                        job.unshipped -= 1;
+                        job.attempts = 0;
+                    }
+                    return Ok(StepOutcome::Progress);
                 }
-                if let Some(slot) = completed {
-                    self.queue.retain(|j| j.slot != slot);
-                    return Ok(StepOutcome::CompletedDrain(slot));
-                }
-                return Ok(StepOutcome::Progress);
             }
         }
 
@@ -353,16 +469,23 @@ impl NdpEngine {
             }
         }
 
-        // 3. Compress the next block of the head job.
-        let Some(job) = self
+        // 3. Compress the next block of the first non-backing-off job.
+        let Some(jpos) = self
             .queue
-            .iter_mut()
-            .find(|j| !j.compression_done)
+            .iter()
+            .position(|j| !j.compression_done && j.blocked_until <= self.steps)
         else {
-            // Jobs may still be waiting on shipment; if the NIC is
-            // blocked that is a stall, otherwise nothing to do.
+            // Jobs may still be waiting on shipment, finalize, or a
+            // backoff deadline; if the NIC is blocked that is a stall,
+            // otherwise nothing to do.
             return Ok(if self.queue.is_empty() {
                 StepOutcome::Idle
+            } else if self
+                .queue
+                .iter()
+                .any(|j| j.blocked_until > self.steps)
+            {
+                StepOutcome::Retrying
             } else {
                 StepOutcome::Stalled
             });
@@ -372,6 +495,35 @@ impl NdpEngine {
         if !nic_available && self.policy == BackpressurePolicy::Pause {
             return Ok(StepOutcome::Stalled);
         }
+
+        // The NDP itself can crash mid-drain: every in-flight drain
+        // loses its progress (NIC contents included) and is re-driven
+        // from its still-locked slot — idempotently, because the partial
+        // remote objects are aborted before the re-drive begins.
+        if faults.fire(FaultSite::NdpCrash) {
+            self.crash_restart(nvm, io);
+            return Ok(StepOutcome::Retrying);
+        }
+
+        // Source-integrity gate: a drain reading its slot in place must
+        // never propagate silent NVM rot into the remote object. Checked
+        // before every read — the check before the *final* read is what
+        // makes it airtight, since rot striking after the last block is
+        // read cannot affect the shipped bytes. (Delta jobs snapshot
+        // their payload at prepare time, so only the pre-prepare check
+        // applies to them.)
+        if self.queue[jpos].delta.is_none() {
+            let intact = nvm
+                .get(self.queue[jpos].slot)
+                .is_some_and(|slot| slot.verify());
+            if !intact {
+                self.stats.drains_source_corrupt += 1;
+                self.cancel_job(jpos, nvm, io);
+                return Ok(StepOutcome::Retrying);
+            }
+        }
+
+        let job = &mut self.queue[jpos];
 
         // Source preparation: under incremental drains, diff against
         // the previous drained checkpoint of this rank (§7) before the
@@ -408,10 +560,26 @@ impl NdpEngine {
             job.prepared = true;
         }
 
-        if !job.begun {
+        if !self.queue[jpos].begun {
+            if faults.fire(FaultSite::IoBegin) {
+                self.stats.io_retries += 1;
+                return Ok(self.transient_failure(jpos, nvm, io, false));
+            }
+            let job = &mut self.queue[jpos];
             io.begin(job.meta.clone())
                 .map_err(|e| CodecError::new(e.to_string()))?;
             job.begun = true;
+            job.attempts = 0;
+        }
+
+        // Codec fault: degrade this drain to uncompressed (re-driven
+        // from scratch so the remote object is never mixed-codec), or
+        // cancel it outright per policy.
+        let use_codec =
+            self.codec.is_some() && !self.queue[jpos].force_uncompressed;
+        if use_codec && faults.fire(FaultSite::CodecFault) {
+            self.degrade_codec(jpos, nvm, io);
+            return Ok(StepOutcome::Retrying);
         }
 
         // Acquire the output buffer before borrowing the source slot:
@@ -420,6 +588,9 @@ impl NdpEngine {
             .frame_pool
             .pop()
             .unwrap_or_else(|| nvm.take_buffer());
+        let codec_for_job =
+            if use_codec { self.codec.as_deref() } else { None };
+        let job = &mut self.queue[jpos];
 
         let source_data: &[u8] = match &job.delta {
             Some(d) => d,
@@ -444,7 +615,7 @@ impl NdpEngine {
         // from previously shipped blocks.
         framed.extend_from_slice(&(chunk_len as u32).to_le_bytes());
         framed.extend_from_slice(&[0u8; 4]); // comp_len, patched below
-        match &self.codec {
+        match codec_for_job {
             Some(c) => c.compress_append(chunk, &mut framed),
             None => framed.extend_from_slice(chunk),
         }
@@ -478,6 +649,7 @@ impl NdpEngine {
                 taken_at: self.next_spill_id,
                 codec: job.meta.codec.clone(),
                 base: job.meta.base,
+                content_crc: 0,
             };
             match nvm.write(Region::Compressed, spill_meta, framed) {
                 Ok(sid) => {
@@ -502,6 +674,175 @@ impl NdpEngine {
                 .map_err(|e| CodecError::new(e.to_string()))?;
         }
         Ok(StepOutcome::Progress)
+    }
+
+    /// Returns a framed-block allocation to the pool.
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        if self.frame_pool.len() < FRAME_POOL_CAP {
+            self.frame_pool.push(buf);
+        }
+    }
+
+    /// Drops every NIC block belonging to `key`, recycling the buffers.
+    fn drop_nic_blocks(&mut self, key: &ObjectKey) {
+        let mut kept = VecDeque::with_capacity(self.nic.queue.len());
+        while let Some(b) = self.nic.queue.pop_front() {
+            if b.key == *key {
+                self.recycle(b.data);
+            } else {
+                kept.push_back(b);
+            }
+        }
+        self.nic.queue = kept;
+    }
+
+    /// Charges one transient failure to a job: bounded retry with
+    /// deterministic exponential backoff, escalating to cancellation
+    /// when the budget is exhausted. `rewind` additionally re-drives the
+    /// drain from scratch (crash-before-finalize semantics).
+    fn transient_failure(
+        &mut self,
+        pos: usize,
+        nvm: &mut NvmStore,
+        io: &mut IoNode,
+        rewind: bool,
+    ) -> StepOutcome {
+        let job = &mut self.queue[pos];
+        job.attempts += 1;
+        let attempts = job.attempts;
+        job.blocked_until = self.steps + self.retry.backoff_steps(attempts);
+        if attempts > self.retry.max_attempts
+            && self.degrade.cancel_on_exhaustion
+        {
+            self.cancel_job(pos, nvm, io);
+            return StepOutcome::Retrying;
+        }
+        if rewind && !self.rewind_job(pos, nvm, io) {
+            self.cancel_job(pos, nvm, io);
+        }
+        StepOutcome::Retrying
+    }
+
+    /// Rewinds a job so a re-driven drain is idempotent: aborts the
+    /// partial remote object, discards its NIC and spilled blocks, and
+    /// resets all progress. Returns false when the drain source is gone
+    /// (slot evicted after unlock, no retained delta) — the caller must
+    /// cancel instead.
+    fn rewind_job(
+        &mut self,
+        pos: usize,
+        nvm: &mut NvmStore,
+        io: &mut IoNode,
+    ) -> bool {
+        let key = self.queue[pos].key.clone();
+        io.abort_object(&key);
+        self.drop_nic_blocks(&key);
+        let spilled: Vec<SlotId> =
+            self.queue[pos].spilled.drain(..).collect();
+        for sid in spilled {
+            if let Ok(slot) = nvm.remove(sid) {
+                self.recycle(slot.data);
+            }
+        }
+        let job = &mut self.queue[pos];
+        job.offset = 0;
+        job.begun = false;
+        job.compression_done = false;
+        job.unshipped = 0;
+        if job.delta.is_some() {
+            return true;
+        }
+        if nvm.get(job.slot).is_some() {
+            // The slot may have been unlocked at compression-done;
+            // re-lock it so FIFO eviction cannot take the source out
+            // from under the re-drive.
+            let _ = nvm.lock(job.slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// NDP crash recovery: all in-flight engine state (NIC contents,
+    /// per-job progress, partial remote objects) is lost; every queued
+    /// drain is re-driven from its slot, or cancelled if the source is
+    /// gone.
+    fn crash_restart(&mut self, nvm: &mut NvmStore, io: &mut IoNode) {
+        self.stats.ndp_crashes += 1;
+        while let Some(b) = self.nic.queue.pop_front() {
+            self.recycle(b.data);
+        }
+        let mut pos = 0;
+        while pos < self.queue.len() {
+            if self.rewind_job(pos, nvm, io) {
+                pos += 1;
+            } else {
+                // Cancellation may cascade; rescan from the start.
+                self.cancel_job(pos, nvm, io);
+                pos = 0;
+            }
+        }
+    }
+
+    /// Codec fault handling per [`DegradePolicy`]: restart the drain
+    /// uncompressed, or cancel it.
+    fn degrade_codec(
+        &mut self,
+        pos: usize,
+        nvm: &mut NvmStore,
+        io: &mut IoNode,
+    ) {
+        if self.degrade.codec_fallback_uncompressed
+            && self.rewind_job(pos, nvm, io)
+        {
+            self.stats.codec_fallbacks += 1;
+            let job = &mut self.queue[pos];
+            job.force_uncompressed = true;
+            job.meta.codec = None;
+        } else {
+            self.cancel_job(pos, nvm, io);
+        }
+    }
+
+    /// Cancels a drain: the remote object is aborted, spilled and NIC
+    /// blocks are reclaimed, and the source slot is unlocked — the
+    /// checkpoint remains recoverable at the local (and partner) levels,
+    /// so nothing committed is lost, but remote coverage degrades.
+    ///
+    /// Incremental hygiene: any queued delta prepared after the
+    /// cancelled checkpoint chains through it and could never be
+    /// restored, so those drains are cancelled too, and the rank's chain
+    /// state is reset so its next drain ships a full image.
+    fn cancel_job(&mut self, pos: usize, nvm: &mut NvmStore, io: &mut IoNode) {
+        let job = self.queue.remove(pos).expect("cancel position valid");
+        self.scrap_job(&job, nvm, io);
+        self.incr_state
+            .remove(&(job.meta.app_id.clone(), job.meta.rank));
+        while let Some(dep) = self.queue.iter().position(|j| {
+            j.meta.app_id == job.meta.app_id
+                && j.meta.rank == job.meta.rank
+                && j.prepared
+                && j.meta.base.is_some()
+                && j.meta.ckpt_id > job.meta.ckpt_id
+        }) {
+            let dj = self.queue.remove(dep).expect("dep position valid");
+            self.scrap_job(&dj, nvm, io);
+        }
+    }
+
+    /// Releases every resource a cancelled job holds.
+    fn scrap_job(&mut self, job: &DrainJob, nvm: &mut NvmStore, io: &mut IoNode) {
+        io.abort_object(&job.key);
+        self.drop_nic_blocks(&job.key);
+        for &sid in &job.spilled {
+            if let Ok(slot) = nvm.remove(sid) {
+                self.recycle(slot.data);
+            }
+        }
+        let _ = nvm.unlock(job.slot);
+        self.stats.drains_cancelled += 1;
+        self.stats.drains_degraded += 1;
     }
 }
 
@@ -739,5 +1080,277 @@ mod tests {
             engine.step(&mut nvm, &mut io, &mut clock).unwrap(),
             StepOutcome::Idle
         );
+    }
+
+    use crate::faults::{FaultPlane, FaultPlaneConfig, FaultSite};
+
+    /// Pumps with a fault plane until idle (or stall/step budget).
+    fn drain_faulty(
+        engine: &mut NdpEngine,
+        nvm: &mut NvmStore,
+        io: &mut IoNode,
+        clock: &mut VClock,
+        plane: &mut FaultPlane,
+    ) {
+        for _ in 0..1_000_000 {
+            match engine.step_faulty(nvm, io, clock, plane).unwrap() {
+                StepOutcome::Idle => return,
+                StepOutcome::Stalled => panic!("unexpected stall"),
+                _ => {}
+            }
+        }
+        panic!("faulty drain did not converge");
+    }
+
+    /// Reference drain of the same payload on a clean engine; returns
+    /// the remote object bytes.
+    fn reference_blob(
+        policy: BackpressurePolicy,
+        codec: bool,
+        data: Vec<u8>,
+    ) -> Vec<u8> {
+        let (mut engine, mut nvm, mut io, mut clock) = setup(policy, codec, 4);
+        let (_, meta) = store_and_enqueue(&mut engine, &mut nvm, 1, data);
+        drain_to_idle(&mut engine, &mut nvm, &mut io, &mut clock);
+        io.read(&ObjectKey::of(&meta)).unwrap().1
+    }
+
+    #[test]
+    fn io_crash_before_finalize_is_redriven_idempotently() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let data = b"crashy checkpoint ".repeat(4000);
+        let (slot, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, data.clone());
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig::disabled(1).with(FaultSite::IoCrash, 1.0),
+        );
+        // Pump until the crash-before-finalize fires (the whole drain is
+        // rewound), then let the re-drive run clean.
+        for _ in 0..100_000 {
+            engine.step_faulty(&mut nvm, &mut io, &mut clock, &mut plane)
+                .unwrap();
+            if plane.count(FaultSite::IoCrash) >= 1 {
+                break;
+            }
+        }
+        assert_eq!(plane.count(FaultSite::IoCrash), 1, "crash must fire");
+        assert_eq!(io.incomplete_count(), 0, "partial object aborted");
+        plane.set_active(false);
+        drain_faulty(&mut engine, &mut nvm, &mut io, &mut clock, &mut plane);
+        assert_eq!(engine.stats.drains_completed, 1);
+        assert_eq!(engine.stats.drains_cancelled, 0);
+        assert!(!nvm.get(slot).unwrap().locked);
+        // The re-driven object is bit-identical to a fault-free drain —
+        // no duplicate, torn, or double-appended frames.
+        let blob = io.read(&ObjectKey::of(&meta)).unwrap().1;
+        assert_eq!(
+            blob,
+            reference_blob(BackpressurePolicy::Pause, true, data)
+        );
+    }
+
+    #[test]
+    fn ndp_crash_mid_drain_redrives_idempotently() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let data: Vec<u8> =
+            (0..90_000u32).map(|i| (i % 241) as u8).collect();
+        let (slot, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, data.clone());
+        // A few clean steps so real progress exists to lose...
+        let mut clean = FaultPlane::disabled();
+        for _ in 0..7 {
+            engine
+                .step_faulty(&mut nvm, &mut io, &mut clock, &mut clean)
+                .unwrap();
+        }
+        assert!(engine.stats.blocks_compressed > 0);
+        // ...then the engine crashes (the fault fires on the next step
+        // that reaches the compress phase; earlier steps may be busy
+        // shipping already-compressed blocks).
+        let mut crash = FaultPlane::new(
+            FaultPlaneConfig::disabled(2).with(FaultSite::NdpCrash, 1.0),
+        );
+        for _ in 0..100 {
+            engine
+                .step_faulty(&mut nvm, &mut io, &mut clock, &mut crash)
+                .unwrap();
+            if crash.count(FaultSite::NdpCrash) >= 1 {
+                break;
+            }
+        }
+        assert_eq!(crash.count(FaultSite::NdpCrash), 1);
+        assert_eq!(engine.stats.ndp_crashes, 1);
+        assert_eq!(io.incomplete_count(), 0, "in-flight object aborted");
+        assert_eq!(engine.nic.depth(), 0, "in-flight NIC blocks lost");
+        assert!(nvm.get(slot).unwrap().locked, "slot stays locked");
+        // Re-driven drain converges to the exact fault-free object.
+        drain_faulty(&mut engine, &mut nvm, &mut io, &mut clock, &mut clean);
+        assert_eq!(engine.stats.drains_completed, 1);
+        let blob = io.read(&ObjectKey::of(&meta)).unwrap().1;
+        assert_eq!(
+            blob,
+            reference_blob(BackpressurePolicy::Pause, true, data)
+        );
+    }
+
+    #[test]
+    fn append_retry_exhaustion_cancels_gracefully() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let (slot, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, vec![9u8; 40_000]);
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig::disabled(3).with(FaultSite::IoAppend, 1.0),
+        );
+        let mut idle = false;
+        for _ in 0..200_000 {
+            match engine
+                .step_faulty(&mut nvm, &mut io, &mut clock, &mut plane)
+                .unwrap()
+            {
+                StepOutcome::Idle => {
+                    idle = true;
+                    break;
+                }
+                StepOutcome::Stalled => panic!("must degrade, not stall"),
+                _ => {}
+            }
+        }
+        assert!(idle, "engine must reach idle after degrading");
+        assert_eq!(engine.stats.drains_completed, 0);
+        assert_eq!(engine.stats.drains_cancelled, 1);
+        assert_eq!(engine.stats.drains_degraded, 1);
+        assert!(engine.stats.io_retries > 0);
+        // Graceful: slot unlocked and intact locally, nothing partial
+        // left remotely, NIC and spill space reclaimed.
+        let s = nvm.get(slot).unwrap();
+        assert!(!s.locked);
+        assert!(s.verify(), "local copy still pristine");
+        assert_eq!(io.incomplete_count(), 0);
+        assert!(io.read(&ObjectKey::of(&meta)).is_none());
+        assert_eq!(engine.nic.depth(), 0);
+        assert_eq!(nvm.used(Region::Compressed), 0);
+    }
+
+    #[test]
+    fn codec_fault_degrades_to_uncompressed_drain() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let data = b"degradable payload ".repeat(2500);
+        let (_, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, data.clone());
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig::disabled(4).with(FaultSite::CodecFault, 1.0),
+        );
+        // The codec faults once; the drain restarts uncompressed and,
+        // with the codec out of the path, completes even though the
+        // plane stays armed.
+        drain_faulty(&mut engine, &mut nvm, &mut io, &mut clock, &mut plane);
+        assert_eq!(engine.stats.codec_fallbacks, 1);
+        assert_eq!(engine.stats.drains_completed, 1);
+        assert_eq!(engine.stats.drains_cancelled, 0);
+        let (rmeta, blob) = io.read(&ObjectKey::of(&meta)).unwrap();
+        assert!(rmeta.codec.is_none(), "degraded object is uncompressed");
+        // Uncompressed frames reassemble to the original bytes.
+        let mut restored = Vec::new();
+        let mut pos = 0;
+        while pos < blob.len() {
+            let raw =
+                u32::from_le_bytes(blob[pos..pos + 4].try_into().unwrap())
+                    as usize;
+            pos += 8;
+            restored.extend_from_slice(&blob[pos..pos + raw]);
+            pos += raw;
+        }
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn nic_drops_force_retransmits_but_bytes_survive() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let data = b"lossy link payload ".repeat(3000);
+        let (_, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, data.clone());
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig::disabled(5)
+                .with(FaultSite::NicDrop, 0.4)
+                .with(FaultSite::NicStall, 0.2),
+        );
+        drain_faulty(&mut engine, &mut nvm, &mut io, &mut clock, &mut plane);
+        assert!(engine.stats.blocks_retransmitted > 0, "drops must fire");
+        assert_eq!(engine.stats.drains_completed, 1);
+        let blob = io.read(&ObjectKey::of(&meta)).unwrap().1;
+        assert_eq!(
+            blob,
+            reference_blob(BackpressurePolicy::Pause, true, data)
+        );
+    }
+
+    #[test]
+    fn rotten_source_slot_is_never_drained_to_remote() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let (slot, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, vec![3u8; 50_000]);
+        nvm.tamper(slot, 1234).unwrap();
+        drain_to_idle(&mut engine, &mut nvm, &mut io, &mut clock);
+        assert_eq!(engine.stats.drains_source_corrupt, 1);
+        assert_eq!(engine.stats.drains_completed, 0);
+        assert!(io.read(&ObjectKey::of(&meta)).is_none());
+        assert_eq!(io.incomplete_count(), 0);
+        assert!(!nvm.get(slot).unwrap().locked);
+    }
+
+    #[test]
+    fn mid_drain_rot_aborts_instead_of_shipping_torn_object() {
+        let (mut engine, mut nvm, mut io, mut clock) =
+            setup(BackpressurePolicy::Pause, true, 4);
+        let (slot, meta) =
+            store_and_enqueue(&mut engine, &mut nvm, 1, vec![7u8; 90_000]);
+        // Let real progress happen, then rot the source mid-drain.
+        let mut clean = FaultPlane::disabled();
+        for _ in 0..5 {
+            engine
+                .step_faulty(&mut nvm, &mut io, &mut clock, &mut clean)
+                .unwrap();
+        }
+        assert!(engine.stats.blocks_compressed > 0);
+        assert!(!engine.queue[0].compression_done, "rot must strike mid-read");
+        nvm.tamper(slot, 80_000).unwrap();
+        drain_to_idle(&mut engine, &mut nvm, &mut io, &mut clock);
+        assert_eq!(engine.stats.drains_source_corrupt, 1);
+        assert!(io.read(&ObjectKey::of(&meta)).is_none(), "no torn object");
+        assert_eq!(io.incomplete_count(), 0);
+    }
+
+    #[test]
+    fn faulty_drains_are_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let (mut engine, mut nvm, mut io, mut clock) =
+                setup(BackpressurePolicy::Spill, true, 2);
+            let data = b"deterministic chaos ".repeat(2000);
+            let (_, meta) =
+                store_and_enqueue(&mut engine, &mut nvm, 1, data);
+            let mut plane =
+                FaultPlane::new(FaultPlaneConfig::uniform(seed, 0.05));
+            drain_faulty(
+                &mut engine, &mut nvm, &mut io, &mut clock, &mut plane,
+            );
+            let blob = io
+                .read(&ObjectKey::of(&meta))
+                .map(|(_, b)| b)
+                .unwrap_or_default();
+            (plane.render_log(), engine.stats, blob)
+        };
+        let a = run(77);
+        let b = run(77);
+        assert_eq!(a.0, b.0, "fault logs must replay bit-exactly");
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        let c = run(78);
+        assert_ne!(a.0, c.0, "different seed, different fault history");
     }
 }

@@ -6,6 +6,9 @@ use std::fmt;
 
 use cr_compress::{registry, CodecError};
 
+use crate::faults::{
+    DegradePolicy, FaultPlane, FaultPlaneConfig, FaultSite, RetryPolicy,
+};
 use crate::metadata::CheckpointMeta;
 use crate::ndp::{BackpressurePolicy, NdpEngine, StepOutcome};
 use crate::nvm::{NvmError, NvmStore, Region, SlotId};
@@ -48,6 +51,16 @@ pub struct NodeConfig {
     pub ndp_compress_bw: f64,
     /// Modeled host decompression throughput on restore, bytes/s.
     pub host_decompress_bw: f64,
+    /// Deterministic fault injection (`None` = no faults): the node
+    /// threads this plane through NVM commits/reads, partner
+    /// replication, the NDP drain engine, the NIC and the remote I/O
+    /// path.
+    pub faults: Option<FaultPlaneConfig>,
+    /// Retry/backoff budget for transient drain failures.
+    pub retry: RetryPolicy,
+    /// Degradation policy once retries are exhausted or the codec
+    /// fails.
+    pub degrade: DegradePolicy,
 }
 
 impl NodeConfig {
@@ -70,6 +83,9 @@ impl NodeConfig {
             io_bandwidth: 100e6,
             ndp_compress_bw: 440.4e6,
             host_decompress_bw: 16e9,
+            faults: None,
+            retry: RetryPolicy::default(),
+            degrade: DegradePolicy::default(),
         }
     }
 }
@@ -179,6 +195,7 @@ pub struct ComputeNode {
     io: IoNode,
     apps: HashMap<String, AppState>,
     clock: VClock,
+    faults: FaultPlane,
     host_ckpt_counter: u64,
     /// Checkpoints that failed integrity verification during restores
     /// (each one was skipped in favor of the next recovery level).
@@ -204,8 +221,13 @@ impl ComputeNode {
         if let Some(policy) = cfg.incremental {
             ndp.enable_incremental(policy);
         }
+        ndp.set_policies(cfg.retry, cfg.degrade);
         let partner = (cfg.partner_ratio > 0)
             .then(|| NvmStore::new(cfg.nvm_uncompressed, 0));
+        let faults = cfg
+            .faults
+            .map(FaultPlane::new)
+            .unwrap_or_else(FaultPlane::disabled);
         ComputeNode {
             nvm: NvmStore::new(cfg.nvm_uncompressed, cfg.nvm_compressed),
             partner,
@@ -213,6 +235,7 @@ impl ComputeNode {
             io: IoNode::new(cfg.io_bandwidth),
             apps: HashMap::new(),
             clock: VClock::default(),
+            faults,
             host_ckpt_counter: 0,
             corruptions_detected: 0,
             cfg,
@@ -267,13 +290,17 @@ impl ComputeNode {
             false
         };
 
-        let meta = CheckpointMeta::new(
+        let mut meta = CheckpointMeta::new(
             app_id,
             rank,
             ckpt_id,
             data.len() as u64,
             taken_at,
         );
+        // End-to-end integrity: the original image's checksum travels
+        // with the metadata through every level and encoding, so a
+        // restore can verify the final reassembled bytes.
+        meta.content_crc = crate::integrity::Crc64::of(data);
 
         // Host owns the NVM for the commit: NDP paused (§4.2.1).
         self.ndp.pause();
@@ -289,10 +316,26 @@ impl ComputeNode {
         self.ndp.resume();
         let slot = result?;
 
+        // Injected torn write: the commit "succeeded" but the stored
+        // frame is damaged past its commit-time checksum. Detected by
+        // verification at restore time, never served as fresh data.
+        if self.faults.fire(FaultSite::NvmTornWrite) {
+            let idx = self.faults.draw_index(data.len());
+            let _ = self.nvm.tamper(slot, idx);
+        }
+
         // Partner replication (§3.4): copy the checkpoint over the
         // interconnect to the partner node's NVM.
         if to_partner {
-            if let Some(partner) = &mut self.partner {
+            if self.faults.fire(FaultSite::PartnerLoss) {
+                // Replica lost in transit: the interconnect time is
+                // spent but nothing lands on the partner.
+                VClock::charge(
+                    &mut self.clock.host_nvm,
+                    data.len(),
+                    self.cfg.interconnect_bw,
+                );
+            } else if let Some(partner) = &mut self.partner {
                 let mut pbuf = partner.take_buffer();
                 pbuf.extend_from_slice(data);
                 partner.write(Region::Uncompressed, meta.clone(), pbuf)?;
@@ -311,11 +354,14 @@ impl ComputeNode {
         Ok(slot)
     }
 
-    /// Performs one unit of NDP drain work.
+    /// Performs one unit of NDP drain work, consulting the fault plane.
     pub fn ndp_step(&mut self) -> Result<StepOutcome, NodeError> {
-        Ok(self
-            .ndp
-            .step(&mut self.nvm, &mut self.io, &mut self.clock)?)
+        Ok(self.ndp.step_faulty(
+            &mut self.nvm,
+            &mut self.io,
+            &mut self.clock,
+            &mut self.faults,
+        )?)
     }
 
     /// Runs the NDP until all queued drains complete.
@@ -389,8 +435,19 @@ impl ComputeNode {
         // Fast path: newest local checkpoint — verified before use, so
         // NVM bit-rot falls through to the partner/I-O levels instead
         // of restoring garbage.
-        if let Some(slot) = self.nvm.latest(Region::Uncompressed, app_id, rank)
+        if let Some(id) = self
+            .nvm
+            .latest(Region::Uncompressed, app_id, rank)
+            .map(|s| s.id)
         {
+            // Injected silent bit-rot, surfacing exactly when the
+            // restore reads the slot.
+            if self.faults.fire(FaultSite::NvmReadRot) {
+                let len = self.nvm.get(id).map_or(0, |s| s.data.len());
+                let idx = self.faults.draw_index(len);
+                let _ = self.nvm.tamper(id, idx);
+            }
+            let slot = self.nvm.get(id).expect("slot just listed");
             if slot.verify() {
                 let data = slot.data.clone();
                 let meta = slot.meta.clone();
@@ -411,12 +468,23 @@ impl ComputeNode {
         // Partner level (§3.4): the partner node's replica survives
         // loss of this node alone; fetch it over the interconnect
         // (verified, falling through to I/O on corruption).
-        let partner_hit = self.partner.as_ref().and_then(|partner| {
+        let partner_id = self.partner.as_ref().and_then(|partner| {
             partner
                 .latest(Region::Uncompressed, app_id, rank)
-                .map(|slot| {
-                    (slot.verify(), slot.meta.clone(), slot.data.clone())
-                })
+                .map(|s| s.id)
+        });
+        if let Some(pid) = partner_id {
+            if self.faults.fire(FaultSite::NvmReadRot) {
+                let partner = self.partner.as_mut().expect("id implies store");
+                let len = partner.get(pid).map_or(0, |s| s.data.len());
+                let idx = self.faults.draw_index(len);
+                let _ = partner.tamper(pid, idx);
+            }
+        }
+        let partner_hit = self.partner.as_ref().and_then(|partner| {
+            partner_id.and_then(|pid| partner.get(pid)).map(|slot| {
+                (slot.verify(), slot.meta.clone(), slot.data.clone())
+            })
         });
         if let Some((ok, meta, data)) = partner_hit {
             if ok {
@@ -485,6 +553,16 @@ impl ComputeNode {
         }
         if data.len() != meta.size as usize {
             return Err(CodecError::new("restored size mismatch").into());
+        }
+        // End-to-end verification of the reassembled image against the
+        // checksum taken at checkpoint time: catches any corruption the
+        // per-object CRCs cannot (e.g. rot that slipped into the drain
+        // source before shipping).
+        if meta.content_crc != 0
+            && crate::integrity::Crc64::of(&data) != meta.content_crc
+        {
+            self.corruptions_detected += 1;
+            return Err(NodeError::Corrupt);
         }
         VClock::charge(
             &mut self.clock.restore_io,
@@ -643,6 +721,17 @@ impl ComputeNode {
     /// Immutable access to the remote I/O node.
     pub fn io(&self) -> &IoNode {
         &self.io
+    }
+
+    /// Immutable access to the fault plane (fault log, per-site counts).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Mutable access to the fault plane. Chaos harnesses use this to
+    /// quiesce injection (`set_active(false)`) around oracle restores.
+    pub fn faults_mut(&mut self) -> &mut FaultPlane {
+        &mut self.faults
     }
 
     /// The configuration in force.

@@ -53,6 +53,9 @@ pub enum RemoteError {
     AlreadyExists,
     /// Stored bytes no longer match the finalize-time checksum.
     Corrupt,
+    /// Writing to an object that was already finalized (its checksum is
+    /// sealed; durable bytes are immutable).
+    Sealed,
 }
 
 impl std::fmt::Display for RemoteError {
@@ -64,6 +67,9 @@ impl std::fmt::Display for RemoteError {
             }
             RemoteError::Corrupt => {
                 write!(f, "remote object failed checksum verification")
+            }
+            RemoteError::Sealed => {
+                write!(f, "remote object is finalized and immutable")
             }
         }
     }
@@ -123,6 +129,11 @@ impl IoNode {
             .objects
             .get_mut(key)
             .ok_or(RemoteError::NoSuchObject)?;
+        if obj.complete {
+            // A finalized object is durable and sealed; accepting more
+            // bytes would corrupt it past its checksum.
+            return Err(RemoteError::Sealed);
+        }
         obj.data.extend_from_slice(block);
         obj.crc.update(block);
         self.bytes_written += block.len() as u64;
@@ -145,6 +156,41 @@ impl IoNode {
     /// survive.
     pub fn abort_incomplete(&mut self) {
         self.objects.retain(|_, o| o.complete);
+    }
+
+    /// Drops one in-flight object (targeted abort, used when a single
+    /// drain is re-driven or cancelled). Returns true if an incomplete
+    /// object was removed; finalized objects are durable and are never
+    /// touched.
+    pub fn abort_object(&mut self, key: &ObjectKey) -> bool {
+        match self.objects.get(key) {
+            Some(o) if !o.complete => {
+                self.objects.remove(key);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of in-flight (non-finalized) objects.
+    pub fn incomplete_count(&self) -> usize {
+        self.objects.values().filter(|o| !o.complete).count()
+    }
+
+    /// Read-only integrity probe: the object's metadata if it is
+    /// finalized *and* its bytes still match the sealed checksum. Does
+    /// not count as a recovery read (no counters move) — chaos oracles
+    /// use this to predict what a restore will find.
+    pub fn peek_verified(&self, key: &ObjectKey) -> Option<&CheckpointMeta> {
+        let obj = self.objects.get(key)?;
+        if !obj.complete {
+            return None;
+        }
+        let expected = obj.checksum?;
+        if crate::integrity::Crc64::of(&obj.data) != expected {
+            return None;
+        }
+        Some(&obj.meta)
     }
 
     /// Reads a finalized object.
@@ -274,6 +320,119 @@ mod tests {
         io.abort_incomplete();
         assert_eq!(io.object_count(), 1);
         assert!(io.latest_complete("app", 0).is_some());
+    }
+
+    #[test]
+    fn abort_incomplete_mid_upload_forgets_partial_bytes() {
+        let mut io = IoNode::new(1.0);
+        let m = meta(1);
+        let key = ObjectKey::of(&m);
+        io.begin(m.clone()).unwrap();
+        io.append_block(&key, b"half a check").unwrap();
+        io.abort_incomplete();
+        // The partial object is gone in every observable way...
+        assert_eq!(io.object_count(), 0);
+        assert!(io.read(&key).is_none());
+        assert_eq!(
+            io.read_verified(&key).unwrap_err(),
+            RemoteError::NoSuchObject
+        );
+        assert!(io.peek_verified(&key).is_none());
+        assert!(io.latest_complete("app", 0).is_none());
+        // ...and the key is reusable: the re-driven drain starts clean.
+        io.begin(m).unwrap();
+        io.append_block(&key, b"whole thing").unwrap();
+        io.finalize(&key).unwrap();
+        assert_eq!(io.read(&key).unwrap().1, b"whole thing");
+    }
+
+    #[test]
+    fn finalize_unknown_key_is_typed_error() {
+        let mut io = IoNode::new(1.0);
+        let key = ObjectKey::of(&meta(42));
+        assert_eq!(io.finalize(&key).unwrap_err(), RemoteError::NoSuchObject);
+    }
+
+    #[test]
+    fn double_begin_same_key_rejected_even_when_partial() {
+        let mut io = IoNode::new(1.0);
+        let m = meta(3);
+        let key = ObjectKey::of(&m);
+        io.begin(m.clone()).unwrap();
+        io.append_block(&key, b"partial").unwrap();
+        // Second begin must not clobber the in-flight upload.
+        assert_eq!(io.begin(m.clone()).unwrap_err(), RemoteError::AlreadyExists);
+        io.finalize(&key).unwrap();
+        // Nor a finalized one.
+        assert_eq!(io.begin(m).unwrap_err(), RemoteError::AlreadyExists);
+        assert_eq!(io.read(&key).unwrap().1, b"partial");
+    }
+
+    #[test]
+    fn append_after_finalize_rejected() {
+        let mut io = IoNode::new(1.0);
+        let m = meta(4);
+        let key = ObjectKey::of(&m);
+        io.begin(m).unwrap();
+        io.append_block(&key, b"sealed bytes").unwrap();
+        io.finalize(&key).unwrap();
+        assert_eq!(
+            io.append_block(&key, b"junk").unwrap_err(),
+            RemoteError::Sealed
+        );
+        // The durable object is untouched and still verifies.
+        let (_, data) = io.read_verified(&key).unwrap();
+        assert_eq!(data, b"sealed bytes");
+    }
+
+    #[test]
+    fn partial_object_is_never_readable() {
+        let mut io = IoNode::new(1.0);
+        let m = meta(5);
+        let key = ObjectKey::of(&m);
+        io.begin(m).unwrap();
+        io.append_block(&key, b"torn").unwrap();
+        assert!(io.read(&key).is_none());
+        assert_eq!(
+            io.read_verified(&key).unwrap_err(),
+            RemoteError::NoSuchObject
+        );
+        assert!(io.peek_verified(&key).is_none());
+        assert!(io.latest_complete("app", 0).is_none());
+        assert_eq!(io.incomplete_count(), 1);
+    }
+
+    #[test]
+    fn abort_object_is_targeted_and_spares_durable() {
+        let mut io = IoNode::new(1.0);
+        io.begin(meta(1)).unwrap();
+        io.finalize(&ObjectKey::of(&meta(1))).unwrap();
+        io.begin(meta(2)).unwrap();
+        io.begin(meta(3)).unwrap();
+        // Durable objects are never aborted.
+        assert!(!io.abort_object(&ObjectKey::of(&meta(1))));
+        // Targeted abort removes exactly the requested in-flight object.
+        assert!(io.abort_object(&ObjectKey::of(&meta(2))));
+        assert!(!io.abort_object(&ObjectKey::of(&meta(2))), "already gone");
+        assert_eq!(io.incomplete_count(), 1);
+        assert_eq!(io.object_count(), 2);
+        assert!(io.read(&ObjectKey::of(&meta(1))).is_some());
+    }
+
+    #[test]
+    fn peek_verified_detects_rot_without_counting_a_read() {
+        let mut io = IoNode::new(1.0);
+        let m = meta(7);
+        let key = ObjectKey::of(&m);
+        io.begin(m).unwrap();
+        io.append_block(&key, b"pristine payload").unwrap();
+        io.finalize(&key).unwrap();
+        let reads_before = io.bytes_read;
+        assert!(io.peek_verified(&key).is_some());
+        io.tamper(&key, 3);
+        assert!(io.peek_verified(&key).is_none());
+        assert_eq!(io.bytes_read, reads_before, "peek must not count reads");
+        assert_eq!(io.read_verified(&key).unwrap_err(), RemoteError::Corrupt);
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub mod rng;
 pub mod runner;
 pub mod trace;
 
-pub use engine::{run_engine_traced, SimOptions, SimResult, SimStats};
+pub use engine::{
+    run_engine_faulty, run_engine_traced, SimFaults, SimOptions, SimResult,
+    SimStats,
+};
 pub use runner::{simulate, simulate_avg, AveragedResult};
 pub use trace::Trace;

@@ -18,6 +18,10 @@ pub enum StreamKind {
     RecoveryLevel,
     /// Anything workload-related (used by callers embedding the sim).
     Workload,
+    /// Injected-fault draws (local corruption, drain errors). A separate
+    /// stream so enabling faults never perturbs the failure/recovery
+    /// sequences of a fault-free run with the same seed.
+    Faults,
 }
 
 impl StreamKind {
@@ -26,6 +30,7 @@ impl StreamKind {
             StreamKind::Failures => 0x9E37_79B9_7F4A_7C15,
             StreamKind::RecoveryLevel => 0xBF58_476D_1CE4_E5B9,
             StreamKind::Workload => 0x94D0_49BB_1331_11EB,
+            StreamKind::Faults => 0xD6E8_FEB8_6659_FD93,
         }
     }
 }
