@@ -39,6 +39,8 @@ use cr_node::node::{
 };
 use cr_node::nvm::Region;
 use cr_node::remote::ObjectKey;
+use cr_obs::metrics::Metrics;
+use cr_obs::{Bus, RingSink};
 use cr_rand::ChaCha8;
 
 const APP: &str = "chaos";
@@ -47,6 +49,11 @@ struct Opts {
     episodes: u64,
     seed: u64,
     out: PathBuf,
+    /// `CHAOS_OBS`: when set, attach the observability bus to every
+    /// episode's node and write a `metrics/v1` snapshot to this path.
+    /// The CHAOS_report.json stays byte-identical either way — the bus
+    /// observes, it never perturbs.
+    obs: Option<PathBuf>,
 }
 
 impl Opts {
@@ -63,6 +70,7 @@ impl Opts {
             out: std::env::var("CHAOS_OUT")
                 .unwrap_or_else(|_| "results/CHAOS_report.json".into())
                 .into(),
+            obs: std::env::var("CHAOS_OBS").ok().map(PathBuf::from),
         }
     }
 }
@@ -350,6 +358,7 @@ impl Episode<'_> {
 fn run_episode(
     index: u64,
     opts: &Opts,
+    bus: &Bus,
     totals: &mut Totals,
     violations: &mut Vec<String>,
     site_counts: &mut [u64],
@@ -388,6 +397,7 @@ fn run_episode(
     };
     let mut node = ComputeNode::new(cfg);
     node.register_app(APP);
+    node.set_observer(bus);
 
     let mut ep = Episode {
         node,
@@ -421,18 +431,43 @@ fn main() {
         "== chaos sweep: {} episodes, seed {} ==",
         opts.episodes, opts.seed
     );
+    // CHAOS_OBS attaches one shared ring to every episode's node; event
+    // counts are folded into a metrics registry per episode so the
+    // bounded ring never loses information the snapshot needs.
+    let bus = match &opts.obs {
+        Some(_) => Bus::with_sink(RingSink::new(1 << 16)),
+        None => Bus::disabled(),
+    };
+    let mut metrics = Metrics::new();
     for e in 0..opts.episodes {
         run_episode(
             e,
             &opts,
+            &bus,
             &mut totals,
             &mut violations,
             &mut site_counts,
             &mut digest,
         );
+        for ev in bus.drain() {
+            metrics.inc("events_total", 1);
+            metrics.inc(&format!("events_{}", ev.kind.name()), 1);
+            metrics.inc(&format!("events_from_{}", ev.source.name()), 1);
+        }
         if (e + 1) % 100 == 0 {
             println!("  {}/{} episodes", e + 1, opts.episodes);
         }
+    }
+    if let Some(path) = &opts.obs {
+        metrics.gauge("episodes", opts.episodes as f64);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create metrics dir");
+            }
+        }
+        std::fs::write(path, metrics.to_json("bench_chaos"))
+            .expect("write metrics");
+        println!("wrote {}", path.display());
     }
 
     let total_faults: u64 = site_counts.iter().sum();

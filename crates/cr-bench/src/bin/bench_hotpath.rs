@@ -28,6 +28,9 @@ use cr_compress::measure::{measure_many, Measurement};
 use cr_compress::parallel::ParallelCodec;
 use cr_compress::registry::{by_name, study_codecs};
 use cr_compress::Codec;
+use cr_node::ndp::StepOutcome;
+use cr_node::node::{ComputeNode, NodeConfig};
+use cr_obs::stage;
 use cr_workloads::{all_mini_apps, CheckpointGenerator};
 
 const SEED: u64 = 42;
@@ -181,6 +184,51 @@ fn scaling_section(
     Json::Arr(rows)
 }
 
+/// Drives the full drain pipeline (host checkpoint -> NVM -> NDP
+/// compress -> NIC -> remote object) with the stage profiler enabled
+/// and reports the per-stage tokenize/entropy/frame/ship breakdown.
+fn stages_section(image: &[u8]) -> Json {
+    println!("== per-stage drain pipeline breakdown ==");
+    let cfg = NodeConfig {
+        drain_ratio: 1, // drain every checkpoint so all stages fire
+        codec: Some(("gz", 1)),
+        ..NodeConfig::small_test()
+    };
+    let mut node = ComputeNode::new(cfg);
+    node.register_app("bench");
+
+    stage::reset();
+    stage::set_enabled(true);
+    node.checkpoint("bench", image).expect("bench checkpoint");
+    loop {
+        match node.ndp_step().expect("bench drain") {
+            StepOutcome::Idle => break,
+            _ => continue,
+        }
+    }
+    stage::set_enabled(false);
+
+    let mut rows = Vec::new();
+    for snap in stage::snapshot() {
+        println!(
+            "{:9} calls {:>7}  {:>9.3} ms  {:>9.1} MB/s",
+            snap.stage.name(),
+            snap.calls,
+            snap.nanos as f64 / 1e6,
+            snap.mb_per_s(),
+        );
+        rows.push(Json::Obj(vec![
+            ("stage".into(), Json::str(snap.stage.name())),
+            ("calls".into(), Json::Int(snap.calls as i64)),
+            ("nanos".into(), Json::Int(snap.nanos as i64)),
+            ("bytes".into(), Json::Int(snap.bytes as i64)),
+            ("mb_s".into(), Json::Num(snap.mb_per_s())),
+        ]));
+    }
+    stage::reset();
+    Json::Arr(rows)
+}
+
 fn main() {
     let opts = Opts::from_env();
     let effective_cores = std::thread::available_parallelism()
@@ -202,6 +250,7 @@ fn main() {
 
     let codecs = codec_section(&opts, &images);
     let scaling = scaling_section(&opts, &scaling_image, effective_cores);
+    let stages = stages_section(&scaling_image);
 
     let doc = Json::Obj(vec![
         ("schema".into(), Json::str("bench_codec/v1")),
@@ -237,6 +286,7 @@ fn main() {
         ),
         ("codecs".into(), codecs),
         ("scaling".into(), scaling),
+        ("stages".into(), stages),
     ]);
 
     if let Some(dir) = opts.out.parent() {

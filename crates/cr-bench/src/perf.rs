@@ -28,12 +28,12 @@ pub fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// Bytes/second over megabytes (1e6 bytes, matching the paper's MB/s).
+/// Delegates to the workspace-shared helper so bench output and the
+/// Table 2 reproduction can never diverge on units, and so `elapsed ==
+/// 0` on a coarse clock is division-safe (0 bytes → 0.0; nonzero bytes
+/// → ∞ rather than NaN).
 pub fn mb_per_s(bytes: usize, secs: f64) -> f64 {
-    if secs <= 0.0 {
-        f64::INFINITY
-    } else {
-        bytes as f64 / 1e6 / secs
-    }
+    cr_obs::units::mb_per_s(bytes as u64, secs)
 }
 
 /// A label→measurement console reporter with a fixed repetition count.
@@ -210,6 +210,11 @@ mod tests {
     fn mb_per_s_definition() {
         assert_eq!(mb_per_s(2_000_000, 2.0), 1.0);
         assert!(mb_per_s(1, 0.0).is_infinite());
+        // Regression: a coarse clock can measure 0 bytes in 0 seconds;
+        // that must be 0 MB/s, not NaN and not a bogus infinity.
+        assert_eq!(mb_per_s(0, 0.0), 0.0);
+        // Shared helper: identical semantics to the workspace converter.
+        assert_eq!(mb_per_s(123_456, 0.5), cr_obs::units::mb_per_s(123_456, 0.5));
     }
 
     #[test]

@@ -86,12 +86,24 @@ pub fn measure_many<'a>(
     }
 }
 
-fn rate(bytes: usize, secs: f64) -> f64 {
-    if secs <= 0.0 {
-        f64::INFINITY
-    } else {
-        bytes as f64 / secs
+impl Measurement {
+    /// Compression throughput in decimal MB/s (the paper's unit),
+    /// via the workspace-shared converter.
+    pub fn compress_mb_per_s(&self) -> f64 {
+        self.compress_rate / 1e6
     }
+
+    /// Decompression throughput in decimal MB/s.
+    pub fn decompress_mb_per_s(&self) -> f64 {
+        self.decompress_rate / 1e6
+    }
+}
+
+/// Division-safe bytes/s via the workspace-shared units helper, so this
+/// crate and `cr_bench::perf` agree on edge-case semantics (0 bytes →
+/// 0.0 even at zero elapsed; nonzero bytes at zero elapsed → ∞).
+fn rate(bytes: usize, secs: f64) -> f64 {
+    cr_obs::units::bytes_per_s(bytes as u64, secs)
 }
 
 #[cfg(test)]
@@ -128,5 +140,23 @@ mod tests {
         let m = measure(&Lzf::new(), b"");
         assert_eq!(m.input_bytes, 0);
         assert_eq!(m.factor, 0.0);
+        // Regression: zero bytes must rate as 0.0 even if the coarse
+        // clock reports zero elapsed (previously NaN-or-∞ territory).
+        assert!(m.compress_rate == 0.0 || m.compress_rate.is_finite());
+        assert_eq!(rate(0, 0.0), 0.0);
+        // Nonzero work in unmeasurably little time is ∞, not a panic.
+        assert!(rate(1, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn mb_accessors_share_workspace_units() {
+        let data = b"units units units units units units ".repeat(500);
+        let m = measure(&Lzf::new(), &data);
+        // Same decimal-MB definition as cr_obs::units (and therefore
+        // as cr_bench::perf): bytes/s divided by 1e6.
+        assert!((m.compress_mb_per_s() - m.compress_rate / 1e6).abs() < 1e-12);
+        assert!(
+            (m.decompress_mb_per_s() - m.decompress_rate / 1e6).abs() < 1e-12
+        );
     }
 }

@@ -173,8 +173,12 @@ impl ParallelCodec {
             let mut buf = self.take_buf();
             for chunk in chunks {
                 self.inner.compress(chunk, &mut buf);
+                let mut t = cr_obs::stage::timer(cr_obs::stage::Stage::Frame);
                 emit(&(buf.len() as u32).to_le_bytes());
                 emit(&buf);
+                if let Some(t) = t.as_mut() {
+                    t.add_bytes(4 + buf.len() as u64);
+                }
             }
             self.recycle_buf(buf);
             return;
@@ -202,8 +206,12 @@ impl ParallelCodec {
             // become ready, overlapping with the workers still running.
             for slot in &slots {
                 let buf = slot.wait_take();
+                let mut t = cr_obs::stage::timer(cr_obs::stage::Stage::Frame);
                 emit(&(buf.len() as u32).to_le_bytes());
                 emit(&buf);
+                if let Some(t) = t.as_mut() {
+                    t.add_bytes(4 + buf.len() as u64);
+                }
                 self.recycle_buf(buf);
             }
         });

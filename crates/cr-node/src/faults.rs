@@ -18,6 +18,7 @@
 
 use std::fmt;
 
+use cr_obs::{Bus, Event, EventKind, Source};
 use cr_rand::ChaCha8;
 
 /// Every site where the plane can inject a fault.
@@ -163,6 +164,10 @@ pub struct FaultPlane {
     active: bool,
     log: Vec<FaultEvent>,
     counts: [u64; FAULT_SITES.len()],
+    /// Observability bus: every fired fault is mirrored onto it, so one
+    /// sink sees the unified stream the ad-hoc fault log used to hold
+    /// alone. Disabled by default; see [`FaultPlane::set_bus`].
+    bus: Bus,
 }
 
 impl FaultPlane {
@@ -175,7 +180,15 @@ impl FaultPlane {
             active: true,
             log: Vec::new(),
             counts: [0; FAULT_SITES.len()],
+            bus: Bus::disabled(),
         }
+    }
+
+    /// Attaches an observability bus. Every fault the plane injects is
+    /// emitted as an [`EventKind::Fault`] (in addition to the internal
+    /// log, whose replay format is unchanged).
+    pub fn set_bus(&mut self, bus: Bus) {
+        self.bus = bus;
     }
 
     /// A plane that never fires (the default for production configs).
@@ -222,6 +235,14 @@ impl FaultPlane {
             self.log.push(FaultEvent {
                 site,
                 step: self.step,
+            });
+            self.bus.emit_with(|| Event {
+                t: self.step as f64,
+                source: Source::Faults,
+                kind: EventKind::Fault {
+                    site: site.name(),
+                    step: self.step,
+                },
             });
             true
         } else {
@@ -415,6 +436,40 @@ mod tests {
             assert_eq!(ia, b.draw_index(len));
         }
         assert_eq!(a.draw_index(0), 0);
+    }
+
+    #[test]
+    fn fired_faults_are_mirrored_onto_the_bus() {
+        let mut p = FaultPlane::new(FaultPlaneConfig::uniform(42, 0.5));
+        let bus = Bus::with_sink(cr_obs::VecSink::new());
+        p.set_bus(bus.clone());
+        for i in 0..200 {
+            p.tick();
+            p.fire(FAULT_SITES[i % FAULT_SITES.len()]);
+        }
+        assert!(p.total_fired() > 0);
+        let events = bus.drain();
+        // The bus stream is the fault log, one-for-one and in order:
+        // this is what lets the observability plane subsume the ad-hoc
+        // log without changing its replay format.
+        assert_eq!(events.len() as u64, p.total_fired());
+        for (ev, fe) in events.iter().zip(p.events()) {
+            assert_eq!(ev.source, Source::Faults);
+            assert_eq!(
+                ev.kind,
+                EventKind::Fault {
+                    site: fe.site.name(),
+                    step: fe.step
+                }
+            );
+        }
+        // And attaching the bus did not perturb the draw sequence.
+        let mut q = FaultPlane::new(FaultPlaneConfig::uniform(42, 0.5));
+        for i in 0..200 {
+            q.tick();
+            q.fire(FAULT_SITES[i % FAULT_SITES.len()]);
+        }
+        assert_eq!(p.render_log(), q.render_log());
     }
 
     #[test]

@@ -22,6 +22,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use cr_compress::{Codec, CodecError};
+use cr_obs::stage::{self, Stage};
+use cr_obs::{Bus, Event, EventKind, Source};
 
 use crate::faults::{DegradePolicy, FaultPlane, FaultSite, RetryPolicy};
 use crate::incremental::IncrementalEncoder;
@@ -126,6 +128,9 @@ struct DrainJob {
     compression_done: bool,
     /// Number of blocks handed to NIC/spill but not yet shipped.
     unshipped: usize,
+    /// Compressed bytes durably appended to the remote object so far
+    /// (reported in the drain-complete event).
+    shipped_bytes: u64,
     /// Consecutive transient-failure retries charged to this job.
     attempts: u32,
     /// Engine step before which this job is backing off (exclusive).
@@ -229,6 +234,9 @@ pub struct NdpEngine {
     /// Monotonic step counter (the engine's clock; backoff deadlines are
     /// measured against it).
     steps: u64,
+    /// Observability bus (disabled by default; see
+    /// [`NdpEngine::set_bus`]). Event timestamps are engine steps.
+    bus: Bus,
 }
 
 impl NdpEngine {
@@ -258,7 +266,16 @@ impl NdpEngine {
             retry: RetryPolicy::default(),
             degrade: DegradePolicy::default(),
             steps: 0,
+            bus: Bus::disabled(),
         }
+    }
+
+    /// Attaches an observability bus; drain lifecycle events
+    /// (start/pause/spill/retry/degrade/cancel/complete) are reported
+    /// on it, stamped with the engine's step clock. Disabled by
+    /// default.
+    pub fn set_bus(&mut self, bus: Bus) {
+        self.bus = bus;
     }
 
     /// Installs the retry and degradation policies (defaults are sane;
@@ -284,12 +301,27 @@ impl NdpEngine {
 
     /// Host is about to use the NVM: suspend drain work (§4.2.1).
     pub fn pause(&mut self) {
+        if !self.paused {
+            self.emit(EventKind::DrainPause);
+        }
         self.paused = true;
     }
 
     /// Host released the NVM: drain work may proceed.
     pub fn resume(&mut self) {
+        if self.paused {
+            self.emit(EventKind::DrainResume);
+        }
         self.paused = false;
+    }
+
+    /// Emits one event on the bus, stamped with the engine's step clock.
+    fn emit(&self, kind: EventKind) {
+        self.bus.emit_with(|| Event {
+            t: self.steps as f64,
+            source: Source::Ndp,
+            kind,
+        });
     }
 
     /// Whether the engine is paused.
@@ -304,6 +336,10 @@ impl NdpEngine {
         if let Some(c) = &self.codec {
             drained_meta = meta.compressed_with(&c.label());
         }
+        self.emit(EventKind::DrainStart {
+            job: slot.0,
+            bytes: meta.size,
+        });
         self.queue.push_back(DrainJob {
             slot,
             key: ObjectKey::of(&meta),
@@ -315,6 +351,7 @@ impl NdpEngine {
             spilled: VecDeque::new(),
             compression_done: false,
             unshipped: 0,
+            shipped_bytes: 0,
             attempts: 0,
             blocked_until: 0,
             force_uncompressed: false,
@@ -375,19 +412,26 @@ impl NdpEngine {
             if faults.fire(FaultSite::IoCrash) {
                 // Crash-before-finalize: the partial remote object is
                 // gone; rewind and re-drive the drain.
-                return Ok(self.transient_failure(pos, nvm, io, true));
+                return Ok(self.transient_failure(pos, nvm, io, true, "io_crash"));
             }
             if faults.fire(FaultSite::IoFinalize) {
                 self.stats.io_retries += 1;
-                return Ok(self.transient_failure(pos, nvm, io, false));
+                return Ok(
+                    self.transient_failure(pos, nvm, io, false, "io_finalize")
+                );
             }
             let job = &self.queue[pos];
             let key = job.key.clone();
             let slot = job.slot;
+            let bytes_out = job.shipped_bytes;
             io.finalize(&key)
                 .map_err(|e| CodecError::new(e.to_string()))?;
             self.stats.drains_completed += 1;
             self.queue.remove(pos);
+            self.emit(EventKind::DrainComplete {
+                job: slot.0,
+                bytes_out,
+            });
             return Ok(StepOutcome::CompletedDrain(slot));
         }
 
@@ -420,13 +464,15 @@ impl NdpEngine {
                     if let Some(pos) = jpos {
                         if faults.fire(FaultSite::IoAppend) {
                             self.stats.io_retries += 1;
-                            return Ok(
-                                self.transient_failure(pos, nvm, io, false)
-                            );
+                            return Ok(self.transient_failure(
+                                pos, nvm, io, false, "io_append",
+                            ));
                         }
                     }
+                    let mut ship_t = stage::timer(Stage::Ship);
                     let block =
                         self.nic.queue.pop_front().expect("front checked");
+                    let block_len = block.data.len() as u64;
                     VClock::charge(
                         &mut clock.io_link,
                         block.data.len(),
@@ -434,6 +480,10 @@ impl NdpEngine {
                     );
                     io.append_block(&block.key, &block.data)
                         .map_err(|e| CodecError::new(e.to_string()))?;
+                    if let Some(t) = ship_t.as_mut() {
+                        t.add_bytes(block_len);
+                    }
+                    drop(ship_t);
                     self.stats.blocks_shipped += 1;
                     // The shipped block's allocation goes back to the
                     // pool for the next compression.
@@ -442,6 +492,7 @@ impl NdpEngine {
                         self.queue.iter_mut().find(|j| j.key == block.key)
                     {
                         job.unshipped -= 1;
+                        job.shipped_bytes += block_len;
                         job.attempts = 0;
                     }
                     return Ok(StepOutcome::Progress);
@@ -563,7 +614,9 @@ impl NdpEngine {
         if !self.queue[jpos].begun {
             if faults.fire(FaultSite::IoBegin) {
                 self.stats.io_retries += 1;
-                return Ok(self.transient_failure(jpos, nvm, io, false));
+                return Ok(
+                    self.transient_failure(jpos, nvm, io, false, "io_begin")
+                );
             }
             let job = &mut self.queue[jpos];
             io.begin(job.meta.clone())
@@ -613,6 +666,11 @@ impl NdpEngine {
         // `compress_append`), then the comp_len placeholder is patched.
         // No intermediate per-block `Vec`; the buffer itself is recycled
         // from previously shipped blocks.
+        //
+        // The frame stage timer covers the whole block production
+        // (header + codec + patch); the codec's own tokenize/entropy
+        // sub-stages nest inside it and are reported separately.
+        let mut frame_t = stage::timer(Stage::Frame);
         framed.extend_from_slice(&(chunk_len as u32).to_le_bytes());
         framed.extend_from_slice(&[0u8; 4]); // comp_len, patched below
         match codec_for_job {
@@ -621,6 +679,10 @@ impl NdpEngine {
         }
         let comp_len = framed.len() - 8;
         framed[4..8].copy_from_slice(&(comp_len as u32).to_le_bytes());
+        if let Some(t) = frame_t.as_mut() {
+            t.add_bytes(chunk_len as u64);
+        }
+        drop(frame_t);
         VClock::charge(&mut clock.ndp_compute, chunk_len, self.compress_bw);
         self.stats.blocks_compressed += 1;
 
@@ -651,10 +713,12 @@ impl NdpEngine {
                 base: job.meta.base,
                 content_crc: 0,
             };
+            let spill_bytes = framed.len() as u64;
             match nvm.write(Region::Compressed, spill_meta, framed) {
                 Ok(sid) => {
                     job.spilled.push_back(sid);
                     self.stats.blocks_spilled += 1;
+                    self.emit(EventKind::DrainSpill { bytes: spill_bytes });
                 }
                 Err(_) => {
                     // Compressed region full too: genuine stall. Undo
@@ -707,11 +771,18 @@ impl NdpEngine {
         nvm: &mut NvmStore,
         io: &mut IoNode,
         rewind: bool,
+        site: &'static str,
     ) -> StepOutcome {
         let job = &mut self.queue[pos];
         job.attempts += 1;
         let attempts = job.attempts;
-        job.blocked_until = self.steps + self.retry.backoff_steps(attempts);
+        let backoff = self.retry.backoff_steps(attempts);
+        job.blocked_until = self.steps + backoff;
+        self.emit(EventKind::DrainRetry {
+            site,
+            attempt: attempts,
+            backoff_steps: backoff,
+        });
         if attempts > self.retry.max_attempts
             && self.degrade.cancel_on_exhaustion
         {
@@ -750,6 +821,7 @@ impl NdpEngine {
         job.begun = false;
         job.compression_done = false;
         job.unshipped = 0;
+        job.shipped_bytes = 0;
         if job.delta.is_some() {
             return true;
         }
@@ -800,6 +872,8 @@ impl NdpEngine {
             let job = &mut self.queue[pos];
             job.force_uncompressed = true;
             job.meta.codec = None;
+            let slot = job.slot.0;
+            self.emit(EventKind::DrainDegrade { job: slot });
         } else {
             self.cancel_job(pos, nvm, io);
         }
@@ -843,6 +917,7 @@ impl NdpEngine {
         let _ = nvm.unlock(job.slot);
         self.stats.drains_cancelled += 1;
         self.stats.drains_degraded += 1;
+        self.emit(EventKind::DrainCancel { job: job.slot.0 });
     }
 }
 

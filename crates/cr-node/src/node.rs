@@ -738,6 +738,19 @@ impl ComputeNode {
     pub fn config(&self) -> &NodeConfig {
         &self.cfg
     }
+
+    /// Attach one observability bus to every subsystem of this node.
+    ///
+    /// The NVM store, drain engine, remote I/O node and fault plane all
+    /// receive clones of the same bus, so their events interleave in one
+    /// stream in emission order. Observation never perturbs behaviour: a
+    /// disabled bus (the default) makes every emission a no-op.
+    pub fn set_observer(&mut self, bus: &cr_obs::Bus) {
+        self.nvm.set_bus(bus.clone());
+        self.ndp.set_bus(bus.clone());
+        self.io.set_bus(bus.clone());
+        self.faults.set_bus(bus.clone());
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use cr_obs::{Bus, Event, EventKind, Source};
+
 use crate::metadata::CheckpointMeta;
 
 /// Which circular-buffer region a slot lives in.
@@ -154,6 +156,8 @@ pub struct NvmStore {
     spare: Vec<Vec<u8>>,
     /// Total evictions performed (wraparound count).
     pub evictions: u64,
+    /// Observability bus (disabled by default; see [`NvmStore::set_bus`]).
+    bus: Bus,
 }
 
 impl NvmStore {
@@ -165,13 +169,25 @@ impl NvmStore {
             next_id: 1,
             spare: Vec::new(),
             evictions: 0,
+            bus: Bus::disabled(),
         }
+    }
+
+    /// Attaches an observability bus; evictions and lock contention are
+    /// reported on it. The store starts with a disabled bus.
+    pub fn set_bus(&mut self, bus: Bus) {
+        self.bus = bus;
     }
 
     /// Hands out a cleared buffer, reusing an evicted slot's allocation
     /// when one is available.
     pub fn take_buffer(&mut self) -> Vec<u8> {
-        self.spare.pop().unwrap_or_default()
+        let mut buf = self.spare.pop().unwrap_or_default();
+        // `recycle` clears before pooling, but the cleared-contract is
+        // what keeps stale checkpoint bytes out of framed output, so
+        // enforce it here too rather than trusting every producer.
+        buf.clear();
+        buf
     }
 
     fn recycle(&mut self, mut data: Vec<u8>) {
@@ -204,9 +220,28 @@ impl NvmStore {
         meta: CheckpointMeta,
         data: Vec<u8>,
     ) -> Result<SlotId, NvmError> {
-        let evicted = self.region_mut(region).make_room(data.len())?;
+        let evicted = match self.region_mut(region).make_room(data.len()) {
+            Ok(evicted) => evicted,
+            Err(e) => {
+                if e == NvmError::AllLocked {
+                    self.bus.emit_with(|| Event {
+                        t: 0.0,
+                        source: Source::Nvm,
+                        kind: EventKind::LockContention,
+                    });
+                }
+                return Err(e);
+            }
+        };
         self.evictions += evicted.len() as u64;
         for slot in evicted {
+            self.bus.emit_with(|| Event {
+                t: 0.0,
+                source: Source::Nvm,
+                kind: EventKind::Eviction {
+                    bytes: slot.data.len() as u64,
+                },
+            });
             self.recycle(slot.data);
         }
         let id = SlotId(self.next_id);
@@ -469,6 +504,83 @@ mod tests {
         let buf = nvm.take_buffer();
         assert!(buf.is_empty());
         assert!(buf.capacity() >= 100, "capacity {}", buf.capacity());
+    }
+
+    #[test]
+    fn take_buffer_is_cleared_even_if_the_pool_was_dirtied() {
+        // Regression for the documented cleared-buffer contract: a
+        // recycled eviction payload must never leak prior checkpoint
+        // bytes into framing, even if a buffer reached the pool without
+        // going through `recycle`'s clear.
+        let mut nvm = NvmStore::new(100, 0);
+        nvm.spare.push(vec![0xAB; 64]);
+        let buf = nvm.take_buffer();
+        assert!(buf.is_empty(), "leaked {} stale bytes", buf.len());
+        assert!(buf.capacity() >= 64, "recycling lost the allocation");
+    }
+
+    #[test]
+    fn failed_eviction_rolls_back_slot_order_exactly() {
+        // Mid-eviction lock failure: make_room evicts a and b, then
+        // hits locked c and must restore [a, b, c, d] exactly — same
+        // order, same ids, same byte accounting.
+        let mut nvm = NvmStore::new(400, 0);
+        let ids: Vec<SlotId> = (1..=4)
+            .map(|i| {
+                nvm.write(
+                    Region::Uncompressed,
+                    meta(i, 100),
+                    vec![i as u8; 100],
+                )
+                .unwrap()
+            })
+            .collect();
+        nvm.lock(ids[2]).unwrap();
+        // Needs 300 free: would evict a, b, then hit locked c.
+        let err = nvm.uncompressed.make_room(300).unwrap_err();
+        assert_eq!(err, NvmError::AllLocked);
+        let order: Vec<SlotId> =
+            nvm.slots(Region::Uncompressed).map(|s| s.id).collect();
+        assert_eq!(order, ids, "rollback must restore FIFO order exactly");
+        assert_eq!(nvm.used(Region::Uncompressed), 400);
+        assert_eq!(nvm.evictions, 0);
+        // Payloads survived the round trip untouched.
+        for (i, id) in ids.iter().enumerate() {
+            let slot = nvm.get(*id).unwrap();
+            assert_eq!(slot.data, vec![(i + 1) as u8; 100]);
+            assert!(slot.verify());
+        }
+        // And the store still works: unlock c, the big write succeeds.
+        nvm.unlock(ids[2]).unwrap();
+        nvm.write(Region::Uncompressed, meta(9, 300), vec![9; 300])
+            .unwrap();
+        assert_eq!(nvm.evictions, 3);
+    }
+
+    #[test]
+    fn eviction_and_contention_events_reach_the_bus() {
+        use cr_obs::VecSink;
+        let mut nvm = NvmStore::new(250, 0);
+        let bus = Bus::with_sink(VecSink::new());
+        nvm.set_bus(bus.clone());
+        let a = nvm
+            .write(Region::Uncompressed, meta(1, 100), vec![1; 100])
+            .unwrap();
+        nvm.lock(a).unwrap();
+        nvm.write(Region::Uncompressed, meta(2, 100), vec![2; 100])
+            .unwrap();
+        // Front locked: contention event.
+        let err = nvm
+            .write(Region::Uncompressed, meta(3, 100), vec![3; 100])
+            .unwrap_err();
+        assert_eq!(err, NvmError::AllLocked);
+        nvm.unlock(a).unwrap();
+        // Now the write evicts a: eviction event.
+        nvm.write(Region::Uncompressed, meta(3, 100), vec![3; 100])
+            .unwrap();
+        let kinds: Vec<&str> =
+            bus.drain().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, ["lock_contention", "eviction"]);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use cr_obs::{Bus, Event, EventKind, Source};
+
 use crate::metadata::CheckpointMeta;
 
 /// Identifies a checkpoint object on the remote store.
@@ -87,6 +89,8 @@ pub struct IoNode {
     pub bytes_written: u64,
     /// Total bytes served during recovery reads.
     pub bytes_read: u64,
+    /// Observability bus (disabled by default; see [`IoNode::set_bus`]).
+    bus: Bus,
 }
 
 impl IoNode {
@@ -97,7 +101,14 @@ impl IoNode {
             bandwidth,
             bytes_written: 0,
             bytes_read: 0,
+            bus: Bus::disabled(),
         }
+    }
+
+    /// Attaches an observability bus; object begin/seal/abort are
+    /// reported on it (keyed by checkpoint id). Disabled by default.
+    pub fn set_bus(&mut self, bus: Bus) {
+        self.bus = bus;
     }
 
     /// Starts receiving a checkpoint object.
@@ -106,6 +117,11 @@ impl IoNode {
         if self.objects.contains_key(&key) {
             return Err(RemoteError::AlreadyExists);
         }
+        self.bus.emit_with(|| Event {
+            t: 0.0,
+            source: Source::Remote,
+            kind: EventKind::ObjectBegin { key: key.ckpt_id },
+        });
         self.objects.insert(
             key,
             RemoteObject {
@@ -142,20 +158,48 @@ impl IoNode {
 
     /// Marks an object durable and recoverable, sealing its checksum.
     pub fn finalize(&mut self, key: &ObjectKey) -> Result<(), RemoteError> {
-        self.objects
+        let obj = self
+            .objects
             .get_mut(key)
-            .map(|o| {
-                o.complete = true;
-                o.checksum = Some(o.crc.finish());
-            })
-            .ok_or(RemoteError::NoSuchObject)
+            .ok_or(RemoteError::NoSuchObject)?;
+        obj.complete = true;
+        obj.checksum = Some(obj.crc.finish());
+        let bytes = obj.data.len() as u64;
+        self.bus.emit_with(|| Event {
+            t: 0.0,
+            source: Source::Remote,
+            kind: EventKind::ObjectSeal {
+                key: key.ckpt_id,
+                bytes,
+            },
+        });
+        Ok(())
     }
 
     /// Drops an in-flight (non-finalized) object, e.g. when its drain is
     /// cancelled by a node failure. Finalized objects are durable and
     /// survive.
     pub fn abort_incomplete(&mut self) {
-        self.objects.retain(|_, o| o.complete);
+        // Collect-and-sort instead of `retain`: HashMap iteration order
+        // is seeded per process, and the abort events must appear on
+        // the bus in a reproducible order.
+        let mut doomed: Vec<ObjectKey> = self
+            .objects
+            .iter()
+            .filter(|(_, o)| !o.complete)
+            .map(|(k, _)| k.clone())
+            .collect();
+        doomed.sort_by(|a, b| {
+            (&a.app_id, a.rank, a.ckpt_id).cmp(&(&b.app_id, b.rank, b.ckpt_id))
+        });
+        for key in doomed {
+            self.objects.remove(&key);
+            self.bus.emit_with(|| Event {
+                t: 0.0,
+                source: Source::Remote,
+                kind: EventKind::ObjectAbort { key: key.ckpt_id },
+            });
+        }
     }
 
     /// Drops one in-flight object (targeted abort, used when a single
@@ -166,6 +210,11 @@ impl IoNode {
         match self.objects.get(key) {
             Some(o) if !o.complete => {
                 self.objects.remove(key);
+                self.bus.emit_with(|| Event {
+                    t: 0.0,
+                    source: Source::Remote,
+                    kind: EventKind::ObjectAbort { key: key.ckpt_id },
+                });
                 true
             }
             _ => false,

@@ -1,0 +1,672 @@
+//! Deterministic observability plane for the checkpoint/restart stack.
+//!
+//! The paper's argument is about *where time goes* (the Fig. 3
+//! timelines and the Figs. 4/7 overhead breakdowns), so the runtime
+//! crates need a way to narrate what they are doing — failures, drain
+//! stalls, NIC backpressure, retries — without perturbing the thing
+//! being observed. This crate provides three small, dependency-free
+//! pieces:
+//!
+//! 1. A structured **event bus** ([`Bus`]): producers emit [`Event`]s
+//!    into a pluggable [`EventSink`] ([`VecSink`], bounded
+//!    [`RingSink`], or eagerly-rendering [`JsonLinesSink`]). A
+//!    disabled bus is the default and costs one branch per emission
+//!    site; event construction is wrapped in a closure
+//!    ([`Bus::emit_with`]) so a disabled bus never allocates.
+//! 2. A **metrics registry** ([`metrics::Metrics`]): counters, gauges
+//!    and log2-bucketed histograms, snapshotted to the `metrics/v1`
+//!    JSON schema.
+//! 3. A **stage profiler** ([`stage`]): global, lock-free
+//!    tokenize/entropy/frame/ship timers the hot path can feed from
+//!    any worker thread, off by default.
+//!
+//! Everything here is observational: emitting an event never draws
+//! randomness, never changes control flow, and never feeds back into
+//! the simulation or the drain engine, so enabled and disabled runs of
+//! the same seed are bit-identical (a property the workspace tests
+//! enforce).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+pub mod metrics;
+pub mod stage;
+pub mod units;
+
+/// Where an [`Event`] was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The discrete-event simulator (`cr-sim::engine`).
+    Sim,
+    /// The NDP drain engine (`cr-node::ndp`).
+    Ndp,
+    /// The NVM store (`cr-node::nvm`).
+    Nvm,
+    /// The remote I/O node (`cr-node::remote`).
+    Remote,
+    /// The fault-injection plane (`cr-node::faults`).
+    Faults,
+    /// A bench harness or CLI driver.
+    Bench,
+}
+
+impl Source {
+    /// Stable lower-case name used in the JSON rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Sim => "sim",
+            Source::Ndp => "ndp",
+            Source::Nvm => "nvm",
+            Source::Remote => "remote",
+            Source::Faults => "faults",
+            Source::Bench => "bench",
+        }
+    }
+}
+
+/// What happened. The taxonomy is closed on purpose: every producer in
+/// the workspace emits one of these, so sinks and renderers can be
+/// exhaustive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A simulator phase span on a timeline lane (Fig. 3 material).
+    /// `lane` is `"host"` or `"ndp"`; `span` is one of `"compute"`,
+    /// `"ckpt_local"`, `"ckpt_io"`, `"restore_local"`,
+    /// `"restore_io"`, `"drain"`.
+    Span {
+        /// Timeline lane (`"host"` or `"ndp"`).
+        lane: &'static str,
+        /// Span kind name.
+        span: &'static str,
+        /// Span start (sim seconds).
+        t0: f64,
+        /// Span end (sim seconds).
+        t1: f64,
+        /// True if a failure cut the span short.
+        interrupted: bool,
+    },
+    /// A point-in-time simulator mark (`"failure"`, `"io_durable"`).
+    Mark {
+        /// Mark kind name.
+        mark: &'static str,
+    },
+    /// A failure fired in the simulator; `level` is the deepest
+    /// checkpoint level the failure destroyed (1-based).
+    Failure {
+        /// Failure severity level.
+        level: u32,
+    },
+    /// The simulator restored from checkpoint `level` after a failure.
+    Recovery {
+        /// Recovery level chosen (1-based).
+        level: u32,
+    },
+    /// A drain job entered the NDP queue.
+    DrainStart {
+        /// Job (slot) id.
+        job: u64,
+        /// Raw bytes to drain.
+        bytes: u64,
+    },
+    /// The drain engine was paused (host checkpoint in progress).
+    DrainPause,
+    /// The drain engine resumed.
+    DrainResume,
+    /// A compressed frame spilled to the side queue on NIC
+    /// backpressure.
+    DrainSpill {
+        /// Spilled frame bytes.
+        bytes: u64,
+    },
+    /// A transient fault triggered a bounded retry with backoff.
+    DrainRetry {
+        /// Fault site name (stable, from the fault plane taxonomy).
+        site: &'static str,
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// Backoff before the retry, in drain steps.
+        backoff_steps: u64,
+    },
+    /// The codec was degraded (e.g. to uncompressed frames) after
+    /// repeated codec faults.
+    DrainDegrade {
+        /// Job (slot) id being degraded.
+        job: u64,
+    },
+    /// A drain job was cancelled and its partial output discarded.
+    DrainCancel {
+        /// Job (slot) id cancelled.
+        job: u64,
+    },
+    /// A drain job finished: the remote object is sealed.
+    DrainComplete {
+        /// Job (slot) id completed.
+        job: u64,
+        /// Compressed bytes shipped.
+        bytes_out: u64,
+    },
+    /// The NVM store evicted a slot to make room.
+    Eviction {
+        /// Bytes freed by the eviction.
+        bytes: u64,
+    },
+    /// An allocation failed because every slot was locked.
+    LockContention,
+    /// A remote object upload began.
+    ObjectBegin {
+        /// Remote object checkpoint id.
+        key: u64,
+    },
+    /// A remote object was sealed (complete and CRC-stamped).
+    ObjectSeal {
+        /// Remote object checkpoint id.
+        key: u64,
+        /// Sealed payload bytes.
+        bytes: u64,
+    },
+    /// A partial remote object was aborted and discarded.
+    ObjectAbort {
+        /// Remote object checkpoint id.
+        key: u64,
+    },
+    /// A fault-plane site fired.
+    Fault {
+        /// Fault site name (stable).
+        site: &'static str,
+        /// Fault-plane step counter at the firing.
+        step: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name of the event kind (used as the JSON
+    /// `kind` field and as a metrics counter key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Span { .. } => "span",
+            EventKind::Mark { .. } => "mark",
+            EventKind::Failure { .. } => "failure",
+            EventKind::Recovery { .. } => "recovery",
+            EventKind::DrainStart { .. } => "drain_start",
+            EventKind::DrainPause => "drain_pause",
+            EventKind::DrainResume => "drain_resume",
+            EventKind::DrainSpill { .. } => "drain_spill",
+            EventKind::DrainRetry { .. } => "drain_retry",
+            EventKind::DrainDegrade { .. } => "drain_degrade",
+            EventKind::DrainCancel { .. } => "drain_cancel",
+            EventKind::DrainComplete { .. } => "drain_complete",
+            EventKind::Eviction { .. } => "eviction",
+            EventKind::LockContention => "lock_contention",
+            EventKind::ObjectBegin { .. } => "object_begin",
+            EventKind::ObjectSeal { .. } => "object_seal",
+            EventKind::ObjectAbort { .. } => "object_abort",
+            EventKind::Fault { .. } => "fault",
+        }
+    }
+}
+
+/// One observability event.
+///
+/// `t` is the producer's native clock: simulated seconds for
+/// `cr-sim`, drain steps for the NDP engine, the fault-plane step
+/// counter for faults, and `0.0` for unclocked components (NVM,
+/// remote). Sinks preserve emission order, which is the authoritative
+/// interleaving; `t` is for rendering, not ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Producer-native timestamp (see type docs).
+    pub t: f64,
+    /// Producing subsystem.
+    pub source: Source,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Renders the event as one line of JSON (no trailing newline).
+    /// Field order is fixed, so same event stream ⇒ same bytes.
+    pub fn json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"t\":");
+        push_f64(&mut s, self.t);
+        s.push_str(",\"source\":\"");
+        s.push_str(self.source.name());
+        s.push_str("\",\"kind\":\"");
+        s.push_str(self.kind.name());
+        s.push('"');
+        match &self.kind {
+            EventKind::Span {
+                lane,
+                span,
+                t0,
+                t1,
+                interrupted,
+            } => {
+                s.push_str(",\"lane\":\"");
+                s.push_str(lane);
+                s.push_str("\",\"span\":\"");
+                s.push_str(span);
+                s.push_str("\",\"t0\":");
+                push_f64(&mut s, *t0);
+                s.push_str(",\"t1\":");
+                push_f64(&mut s, *t1);
+                s.push_str(",\"interrupted\":");
+                s.push_str(if *interrupted { "true" } else { "false" });
+            }
+            EventKind::Mark { mark } => {
+                s.push_str(",\"mark\":\"");
+                s.push_str(mark);
+                s.push('"');
+            }
+            EventKind::Failure { level } | EventKind::Recovery { level } => {
+                s.push_str(",\"level\":");
+                s.push_str(&level.to_string());
+            }
+            EventKind::DrainStart { job, bytes } => {
+                push_u64(&mut s, "job", *job);
+                push_u64(&mut s, "bytes", *bytes);
+            }
+            EventKind::DrainPause
+            | EventKind::DrainResume
+            | EventKind::LockContention => {}
+            EventKind::DrainSpill { bytes } | EventKind::Eviction { bytes } => {
+                push_u64(&mut s, "bytes", *bytes);
+            }
+            EventKind::DrainRetry {
+                site,
+                attempt,
+                backoff_steps,
+            } => {
+                s.push_str(",\"site\":\"");
+                s.push_str(site);
+                s.push('"');
+                push_u64(&mut s, "attempt", *attempt as u64);
+                push_u64(&mut s, "backoff_steps", *backoff_steps);
+            }
+            EventKind::DrainDegrade { job } | EventKind::DrainCancel { job } => {
+                push_u64(&mut s, "job", *job);
+            }
+            EventKind::DrainComplete { job, bytes_out } => {
+                push_u64(&mut s, "job", *job);
+                push_u64(&mut s, "bytes_out", *bytes_out);
+            }
+            EventKind::ObjectBegin { key } | EventKind::ObjectAbort { key } => {
+                push_u64(&mut s, "key", *key);
+            }
+            EventKind::ObjectSeal { key, bytes } => {
+                push_u64(&mut s, "key", *key);
+                push_u64(&mut s, "bytes", *bytes);
+            }
+            EventKind::Fault { site, step } => {
+                s.push_str(",\"site\":\"");
+                s.push_str(site);
+                s.push('"');
+                push_u64(&mut s, "step", *step);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn push_u64(s: &mut String, key: &str, v: u64) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(&v.to_string());
+}
+
+/// Appends a JSON-safe rendering of `v`: Rust's shortest-roundtrip
+/// formatting for finite values, `null` otherwise (JSON has no
+/// infinities).
+fn push_f64(s: &mut String, v: f64) {
+    if v.is_finite() {
+        s.push_str(&format!("{v}"));
+    } else {
+        s.push_str("null");
+    }
+}
+
+/// A destination for events. Sinks are driven under the bus's mutex,
+/// so implementations need no interior synchronization.
+pub trait EventSink: Send {
+    /// Record one event.
+    fn record(&mut self, ev: &Event);
+    /// Take back whatever events the sink retained, clearing it.
+    /// Sinks that render eagerly (e.g. [`JsonLinesSink`]) return an
+    /// empty vector.
+    fn drain(&mut self) -> Vec<Event>;
+    /// Render the sink's retained content as JSON lines (one event
+    /// per line). Does not clear the sink.
+    fn render(&self) -> String;
+}
+
+/// An unbounded sink retaining every event, in order.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for VecSink {
+    fn record(&mut self, ev: &Event) {
+        self.events.push(*ev);
+    }
+
+    fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn render(&self) -> String {
+        render_lines(self.events.iter())
+    }
+}
+
+/// A bounded ring sink keeping the most recent `cap` events — the
+/// flight-recorder shape: always on, bounded memory, drained after the
+/// interesting thing happened.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<Event>,
+    /// Total events ever recorded (including overwritten ones).
+    seen: u64,
+}
+
+impl RingSink {
+    /// New ring keeping at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "ring capacity must be at least 1");
+        RingSink {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+            seen: 0,
+        }
+    }
+
+    /// Total events recorded over the sink's lifetime, including those
+    /// already overwritten.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl EventSink for RingSink {
+    fn record(&mut self, ev: &Event) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(*ev);
+        self.seen += 1;
+    }
+
+    fn drain(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+
+    fn render(&self) -> String {
+        render_lines(self.buf.iter())
+    }
+}
+
+/// A sink that renders each event to a JSON line eagerly and keeps
+/// only the text — the shape you want when the events are headed for
+/// a file and need not be queried.
+#[derive(Debug, Default)]
+pub struct JsonLinesSink {
+    lines: String,
+    count: u64,
+}
+
+impl JsonLinesSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events rendered.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl EventSink for JsonLinesSink {
+    fn record(&mut self, ev: &Event) {
+        self.lines.push_str(&ev.json_line());
+        self.lines.push('\n');
+        self.count += 1;
+    }
+
+    fn drain(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    fn render(&self) -> String {
+        self.lines.clone()
+    }
+}
+
+fn render_lines<'a>(events: impl Iterator<Item = &'a Event>) -> String {
+    let mut s = String::new();
+    for ev in events {
+        s.push_str(&ev.json_line());
+        s.push('\n');
+    }
+    s
+}
+
+/// The event bus handed to producers.
+///
+/// A `Bus` is a cheap clone-able handle: clones share the same sink,
+/// so one sink can collect a unified, ordered stream from every
+/// subsystem of a node (NVM, drain engine, remote, faults). The
+/// default bus is *disabled* — `emit_with` is one `Option` check and
+/// the event closure never runs — which is what keeps instrumented
+/// and uninstrumented runs bit-identical and nearly free.
+#[derive(Clone, Default)]
+pub struct Bus {
+    sink: Option<Arc<Mutex<dyn EventSink>>>,
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.sink.is_some() {
+            "Bus(enabled)"
+        } else {
+            "Bus(disabled)"
+        })
+    }
+}
+
+impl Bus {
+    /// The disabled bus: emissions are a branch and nothing more.
+    pub fn disabled() -> Self {
+        Bus { sink: None }
+    }
+
+    /// A bus writing into `sink`.
+    pub fn with_sink(sink: impl EventSink + 'static) -> Self {
+        Bus {
+            sink: Some(Arc::new(Mutex::new(sink))),
+        }
+    }
+
+    /// True if a sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an already-built event.
+    pub fn emit(&self, ev: Event) {
+        if let Some(sink) = &self.sink {
+            sink.lock().unwrap().record(&ev);
+        }
+    }
+
+    /// Emits the event produced by `f`, but only if the bus is
+    /// enabled — the closure (and any allocation inside it) is never
+    /// evaluated on a disabled bus. This is the form every hot-path
+    /// producer uses.
+    pub fn emit_with(&self, f: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.lock().unwrap().record(&f());
+        }
+    }
+
+    /// Drains retained events out of the sink (empty for a disabled
+    /// bus or an eagerly-rendering sink).
+    pub fn drain(&self) -> Vec<Event> {
+        match &self.sink {
+            Some(sink) => sink.lock().unwrap().drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders the sink's retained content as JSON lines (empty for a
+    /// disabled bus).
+    pub fn render(&self) -> String {
+        match &self.sink {
+            Some(sink) => sink.lock().unwrap().render(),
+            None => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: EventKind) -> Event {
+        Event {
+            t,
+            source: Source::Ndp,
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_bus_never_runs_the_closure() {
+        let bus = Bus::disabled();
+        let mut ran = false;
+        bus.emit_with(|| {
+            ran = true;
+            ev(0.0, EventKind::DrainPause)
+        });
+        assert!(!ran);
+        assert!(!bus.enabled());
+        assert!(bus.drain().is_empty());
+        assert!(bus.render().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_sink_in_emission_order() {
+        let bus = Bus::with_sink(VecSink::new());
+        let clone = bus.clone();
+        bus.emit(ev(1.0, EventKind::DrainStart { job: 1, bytes: 10 }));
+        clone.emit(ev(2.0, EventKind::DrainComplete { job: 1, bytes_out: 4 }));
+        bus.emit(ev(3.0, EventKind::DrainPause));
+        let got = bus.drain();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].kind.name(), "drain_start");
+        assert_eq!(got[1].kind.name(), "drain_complete");
+        assert_eq!(got[2].kind.name(), "drain_pause");
+        // Drained: a second drain is empty, even through the clone.
+        assert!(clone.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_most_recent_events() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5u64 {
+            ring.record(&ev(i as f64, EventKind::Eviction { bytes: i }));
+        }
+        assert_eq!(ring.seen(), 5);
+        let got = ring.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].kind, EventKind::Eviction { bytes: 3 });
+        assert_eq!(got[1].kind, EventKind::Eviction { bytes: 4 });
+    }
+
+    #[test]
+    fn json_lines_are_deterministic_and_well_formed() {
+        let e = ev(
+            1.5,
+            EventKind::DrainRetry {
+                site: "nic_stall",
+                attempt: 2,
+                backoff_steps: 4,
+            },
+        );
+        assert_eq!(
+            e.json_line(),
+            "{\"t\":1.5,\"source\":\"ndp\",\"kind\":\"drain_retry\",\
+             \"site\":\"nic_stall\",\"attempt\":2,\"backoff_steps\":4}"
+        );
+        // Rendering twice gives identical bytes.
+        assert_eq!(e.json_line(), e.json_line());
+        // Non-finite timestamps degrade to null rather than invalid JSON.
+        let bad = Event {
+            t: f64::INFINITY,
+            source: Source::Sim,
+            kind: EventKind::Mark { mark: "failure" },
+        };
+        assert!(bad.json_line().starts_with("{\"t\":null,"));
+    }
+
+    #[test]
+    fn json_sink_renders_eagerly_and_retains_nothing() {
+        let bus = Bus::with_sink(JsonLinesSink::new());
+        bus.emit(ev(0.0, EventKind::LockContention));
+        bus.emit(ev(1.0, EventKind::DrainResume));
+        let text = bus.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"kind\":\"lock_contention\""));
+        assert!(bus.drain().is_empty());
+    }
+
+    #[test]
+    fn every_kind_renders_its_payload_fields() {
+        let kinds: Vec<(EventKind, &str)> = vec![
+            (
+                EventKind::Span {
+                    lane: "host",
+                    span: "compute",
+                    t0: 0.0,
+                    t1: 2.0,
+                    interrupted: false,
+                },
+                "\"span\":\"compute\"",
+            ),
+            (EventKind::Mark { mark: "io_durable" }, "\"mark\":\"io_durable\""),
+            (EventKind::Failure { level: 2 }, "\"level\":2"),
+            (EventKind::Recovery { level: 1 }, "\"level\":1"),
+            (EventKind::DrainSpill { bytes: 7 }, "\"bytes\":7"),
+            (EventKind::DrainDegrade { job: 3 }, "\"job\":3"),
+            (EventKind::DrainCancel { job: 4 }, "\"job\":4"),
+            (EventKind::ObjectBegin { key: 9 }, "\"key\":9"),
+            (EventKind::ObjectSeal { key: 9, bytes: 12 }, "\"bytes\":12"),
+            (EventKind::ObjectAbort { key: 9 }, "\"key\":9"),
+            (
+                EventKind::Fault {
+                    site: "nvm_torn_write",
+                    step: 11,
+                },
+                "\"site\":\"nvm_torn_write\"",
+            ),
+        ];
+        for (kind, needle) in kinds {
+            let line = ev(0.0, kind).json_line();
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+}

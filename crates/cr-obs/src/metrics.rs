@@ -1,0 +1,343 @@
+//! Metrics registry: counters, gauges, and log2-bucketed histograms,
+//! snapshotted to the `metrics/v1` JSON schema.
+//!
+//! The registry is deliberately simple and deterministic: names are
+//! stored in `BTreeMap`s so iteration (and therefore the JSON
+//! snapshot) is in sorted order, and histogram bucketing is integer
+//! bit math (`leading_zeros`), so bucket boundaries are identical on
+//! every platform — no float log, no libm variance.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`, up to bucket 64 for
+/// values in `[2^63, u64::MAX]`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed log2-bucket histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: `0` for 0, else `64 - leading_zeros`,
+/// i.e. one plus the position of the highest set bit. Pure integer
+/// math, so platform-independent by construction.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: `0` for bucket 0, `2^i - 1`
+/// for `1 ≤ i ≤ 63`, and `u64::MAX` for bucket 64.
+pub fn bucket_bound(i: usize) -> u64 {
+    debug_assert!(i < HIST_BUCKETS);
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Hist {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+}
+
+/// A named registry of counters, gauges and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Hist>,
+}
+
+impl Metrics {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (created at zero on first use).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.hists.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Counter value (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name, if any observation was recorded.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Renders the registry as a `metrics/v1` JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "metrics/v1",
+    ///   "label": "...",
+    ///   "counters": { "name": 3, ... },
+    ///   "gauges": { "name": 1.5, ... },
+    ///   "histograms": {
+    ///     "name": { "count": 4, "sum": 10,
+    ///               "buckets": [ { "le": 3, "count": 4 } ] }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted, empty buckets are omitted, and non-finite
+    /// gauges render as `null`, so the same registry always produces
+    /// the same bytes.
+    pub fn to_json(&self, label: &str) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\n  \"schema\": \"metrics/v1\",\n  \"label\": \"");
+        push_escaped(&mut s, label);
+        s.push_str("\",\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            push_key(&mut s, &mut first, name, 4);
+            s.push_str(&v.to_string());
+        }
+        close_obj(&mut s, first, 2);
+        s.push_str(",\n  \"gauges\": {");
+        let mut first = true;
+        for (name, v) in &self.gauges {
+            push_key(&mut s, &mut first, name, 4);
+            if v.is_finite() {
+                s.push_str(&format!("{v}"));
+            } else {
+                s.push_str("null");
+            }
+        }
+        close_obj(&mut s, first, 2);
+        s.push_str(",\n  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.hists {
+            push_key(&mut s, &mut first, name, 4);
+            s.push_str("{ \"count\": ");
+            s.push_str(&h.count.to_string());
+            s.push_str(", \"sum\": ");
+            s.push_str(&h.sum.to_string());
+            s.push_str(", \"buckets\": [");
+            let mut bfirst = true;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !bfirst {
+                    s.push_str(", ");
+                }
+                bfirst = false;
+                s.push_str("{ \"le\": ");
+                s.push_str(&bucket_bound(i).to_string());
+                s.push_str(", \"count\": ");
+                s.push_str(&c.to_string());
+                s.push_str(" }");
+            }
+            s.push_str("] }");
+        }
+        close_obj(&mut s, first, 2);
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+fn push_key(s: &mut String, first: &mut bool, name: &str, indent: usize) {
+    if !*first {
+        s.push(',');
+    }
+    *first = false;
+    s.push('\n');
+    for _ in 0..indent {
+        s.push(' ');
+    }
+    s.push('"');
+    push_escaped(s, name);
+    s.push_str("\": ");
+}
+
+fn close_obj(s: &mut String, empty: bool, indent: usize) {
+    if !empty {
+        s.push('\n');
+        for _ in 0..indent {
+            s.push(' ');
+        }
+    }
+    s.push('}');
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn push_escaped(s: &mut String, raw: &str) {
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                s.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => s.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // The boundary cases that would differ if bucketing used a
+        // float log: exact powers of two land in the bucket whose
+        // *lower* bound they are.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1 << 20), 21);
+        assert_eq!(bucket_index((1 << 20) - 1), 20);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_domain_without_gaps() {
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(63), (1u64 << 63) - 1);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        // Every value's bucket bound is ≥ the value, and the previous
+        // bucket's bound is < the value.
+        for v in [1u64, 2, 3, 4, 1000, 1 << 33, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_bound(i) >= v);
+            assert!(bucket_bound(i - 1) < v);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 1, 5, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1031);
+        assert_eq!(h.bucket(0), 1); // the 0
+        assert_eq!(h.bucket(1), 2); // the 1s
+        assert_eq!(h.bucket(3), 1); // 5 ∈ [4,7]
+        assert_eq!(h.bucket(11), 1); // 1024 ∈ [1024, 2047]
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_sorted() {
+        let mut m = Metrics::new();
+        m.inc("z_last", 2);
+        m.inc("a_first", 1);
+        m.gauge("ratio", 1.5);
+        m.gauge("weird", f64::INFINITY);
+        m.observe("lat", 3);
+        m.observe("lat", 300);
+        let a = m.to_json("test");
+        let b = m.to_json("test");
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"metrics/v1\""));
+        // Sorted keys: a_first before z_last.
+        assert!(a.find("a_first").unwrap() < a.find("z_last").unwrap());
+        assert!(a.contains("\"weird\": null"));
+        assert!(a.contains("\"count\": 2, \"sum\": 303"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_sections() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        let j = m.to_json("empty");
+        assert!(j.contains("\"counters\": {}"));
+        assert!(j.contains("\"gauges\": {}"));
+        assert!(j.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn counter_and_gauge_accessors() {
+        let mut m = Metrics::new();
+        m.inc("hits", 1);
+        m.inc("hits", 4);
+        m.gauge("mb_s", 12.5);
+        assert_eq!(m.counter("hits"), 5);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.gauge_value("mb_s"), Some(12.5));
+        assert!(m.hist("absent").is_none());
+    }
+}

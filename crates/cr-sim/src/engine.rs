@@ -27,8 +27,10 @@ use std::collections::VecDeque;
 use cr_core::breakdown::Breakdown;
 use cr_core::params::{derive_costs, DerivedCosts, Strategy, SystemParams};
 
+use cr_obs::{Bus, Event, EventKind, Source, VecSink};
+
 use crate::rng::{Stream, StreamKind};
-use crate::trace::{Lane, MarkKind, SpanKind, Trace, TraceMark, TraceSpan};
+use crate::trace::{Lane, MarkKind, SpanKind, Trace};
 
 /// Controls simulation length and reproducibility.
 #[derive(Debug, Clone, Copy)]
@@ -197,7 +199,7 @@ struct Engine {
     // Output.
     acc: Breakdown,
     stats: SimStats,
-    trace: Option<Trace>,
+    bus: Bus,
 }
 
 impl Engine {
@@ -231,37 +233,41 @@ impl Engine {
             drain_queue: VecDeque::new(),
             acc: Breakdown::zero(),
             stats: SimStats::default(),
-            trace: None,
+            bus: Bus::disabled(),
         }
     }
 
     #[inline]
     fn emit_span(
-        &mut self,
+        &self,
         lane: Lane,
         kind: SpanKind,
         t0: f64,
         t1: f64,
         interrupted: bool,
     ) {
-        if let Some(trace) = &mut self.trace {
-            if t1 > t0 {
-                trace.spans.push(TraceSpan {
-                    lane,
-                    kind,
+        if t1 > t0 {
+            self.bus.emit_with(|| Event {
+                t: t0,
+                source: Source::Sim,
+                kind: EventKind::Span {
+                    lane: lane.name(),
+                    span: kind.name(),
                     t0,
                     t1,
                     interrupted,
-                });
-            }
+                },
+            });
         }
     }
 
     #[inline]
-    fn emit_mark(&mut self, t: f64, kind: MarkKind) {
-        if let Some(trace) = &mut self.trace {
-            trace.marks.push(TraceMark { t, kind });
-        }
+    fn emit_mark(&self, t: f64, kind: MarkKind) {
+        self.bus.emit_with(|| Event {
+            t,
+            source: Source::Sim,
+            kind: EventKind::Mark { mark: kind.name() },
+        });
     }
 
     /// Advances the NDP drain pipeline by `dt` seconds of eligible time
@@ -412,6 +418,14 @@ impl Engine {
             self.stats.drains_cancelled += self.drain_queue.len() as u64;
             self.drain_queue.clear();
         }
+        // Level 1 = survivable locally, level 2 = escalated to I/O.
+        self.bus.emit_with(|| Event {
+            t: self.now,
+            source: Source::Sim,
+            kind: EventKind::Failure {
+                level: if local_ok { 1 } else { 2 },
+            },
+        });
         local_ok
     }
 
@@ -442,6 +456,13 @@ impl Engine {
                         self.ckpts_since_io = 0;
                     }
                     self.work = target;
+                    self.bus.emit_with(|| Event {
+                        t: self.now,
+                        source: Source::Sim,
+                        kind: EventKind::Recovery {
+                            level: if local { 1 } else { 2 },
+                        },
+                    });
                     return;
                 }
                 Outcome::Interrupted => {
@@ -462,14 +483,7 @@ impl Engine {
             || self.now >= opts.max_wall
     }
 
-    fn run(self, opts: &SimOptions) -> SimResult {
-        self.run_with_trace(opts).0
-    }
-
-    fn run_with_trace(
-        mut self,
-        opts: &SimOptions,
-    ) -> (SimResult, Option<Trace>) {
+    fn run(mut self, opts: &SimOptions) -> SimResult {
         let tau = self.d.interval;
         'outer: loop {
             // 1. Compute segment.
@@ -543,13 +557,10 @@ impl Engine {
             self.acc.total(),
             self.now
         );
-        (
-            SimResult {
-                breakdown: self.acc,
-                stats: self.stats,
-            },
-            self.trace.take(),
-        )
+        SimResult {
+            breakdown: self.acc,
+            stats: self.stats,
+        }
     }
 }
 
@@ -579,18 +590,46 @@ pub fn run_engine_faulty(
     engine.run(opts)
 }
 
+/// Runs one replica with fault injection and an observability bus.
+///
+/// Every span, mark, failure and recovery-level choice is emitted onto
+/// `bus` (a disabled bus makes this identical to [`run_engine_faulty`]).
+/// Observation never draws random numbers and never perturbs the
+/// simulated timeline: the result is bit-identical for any sink.
+pub fn run_engine_observed(
+    sys: &SystemParams,
+    strat: &Strategy,
+    opts: &SimOptions,
+    faults: &SimFaults,
+    bus: &Bus,
+) -> SimResult {
+    let mut engine = Engine::new(sys, strat, opts.seed);
+    engine.faults = *faults;
+    engine.bus = bus.clone();
+    engine.run(opts)
+}
+
 /// Runs one replica with timeline tracing enabled, returning the trace
 /// alongside the result (Figure 3 rendering; traces grow with run
 /// length, so prefer short runs).
+///
+/// This is a thin wrapper over [`run_engine_observed`] with an
+/// unbounded [`VecSink`]: the timeline is reconstructed from the event
+/// stream via [`Trace::from_events`].
 pub fn run_engine_traced(
     sys: &SystemParams,
     strat: &Strategy,
     opts: &SimOptions,
 ) -> (SimResult, Trace) {
-    let mut engine = Engine::new(sys, strat, opts.seed);
-    engine.trace = Some(Trace::default());
-    let (result, trace) = engine.run_with_trace(opts);
-    (result, trace.unwrap_or_default())
+    let bus = Bus::with_sink(VecSink::default());
+    let result = run_engine_observed(
+        sys,
+        strat,
+        opts,
+        &SimFaults::default(),
+        &bus,
+    );
+    (result, Trace::from_events(&bus.drain()))
 }
 
 #[cfg(test)]

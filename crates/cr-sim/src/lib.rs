@@ -43,8 +43,8 @@ pub mod runner;
 pub mod trace;
 
 pub use engine::{
-    run_engine_faulty, run_engine_traced, SimFaults, SimOptions, SimResult,
-    SimStats,
+    run_engine_faulty, run_engine_observed, run_engine_traced, SimFaults,
+    SimOptions, SimResult, SimStats,
 };
 pub use runner::{simulate, simulate_avg, AveragedResult};
 pub use trace::Trace;

@@ -54,13 +54,11 @@ impl Stream {
         }
     }
 
-    /// Samples an exponential variate with the given mean.
+    /// Samples an exponential variate with the given mean. The result
+    /// is strictly positive and finite for every possible draw.
     pub fn exp(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        // Inverse-CDF with u in (0, 1]: -mean * ln(u). `gen_f64` yields
-        // [0, 1), so flip to (0, 1].
-        let u: f64 = 1.0 - self.rng.gen_f64();
-        -mean * u.ln()
+        exp_from_uniform(mean, self.rng.gen_f64())
     }
 
     /// Samples a Bernoulli with probability `p` of `true`.
@@ -73,6 +71,27 @@ impl Stream {
     pub fn uniform(&mut self) -> f64 {
         self.rng.gen_f64()
     }
+}
+
+/// Largest `f64` strictly below 1.0 (the spacing just under 1.0 is
+/// 2⁻⁵³ = `EPSILON / 2`).
+const U_MAX: f64 = 1.0 - f64::EPSILON / 2.0;
+
+/// Inverse-CDF exponential transform of a `[0, 1)` uniform draw `g`:
+/// flip to `u = 1 - g` in `(0, 1]`, then clamp into `(0, 1)` so
+/// `-mean·ln(u)` is strictly positive and finite.
+///
+/// Without the clamp, the (probability 2⁻⁵³, but legal) draw
+/// `g == 0.0` gives `u == 1.0` and `ln(1) == 0` — a zero
+/// inter-arrival time, violating the exponential contract and able to
+/// schedule two simultaneous failures in the engine. The clamp remaps
+/// exactly that draw to the largest sub-1.0 float (every uniform draw
+/// is a multiple of 2⁻⁵³, so `u` for any `g > 0` is already ≤
+/// [`U_MAX`] and comes through bit-identical); the lower bound guards
+/// the `u == 0.0` end the same way should a caller ever feed `g = 1.0`.
+fn exp_from_uniform(mean: f64, g: f64) -> f64 {
+    let u = (1.0 - g).clamp(f64::MIN_POSITIVE, U_MAX);
+    -mean * u.ln()
 }
 
 #[cfg(test)]
@@ -117,6 +136,23 @@ mod tests {
         for _ in 0..10_000 {
             let x = s.exp(1.0);
             assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn exp_zero_draw_regression() {
+        // `gen_f64` can legally return exactly 0.0 (probability 2⁻⁵³ —
+        // unreachable by seed search, so the transform is tested
+        // directly). The old code returned -mean·ln(1-0) = 0.0 here.
+        let x = exp_from_uniform(42.0, 0.0);
+        assert!(x > 0.0 && x.is_finite(), "zero draw gave {x}");
+        // The other degenerate end (u = 0) must not give ∞ either.
+        let y = exp_from_uniform(42.0, 1.0);
+        assert!(y > 0.0 && y.is_finite(), "unit draw gave {y}");
+        // Non-degenerate draws pass through the clamp bit-identically,
+        // so existing seeded runs are unperturbed.
+        for g in [f64::EPSILON / 2.0, 0.25, 0.5, 0.999] {
+            assert_eq!(exp_from_uniform(2.0, g), -2.0 * (1.0 - g).ln());
         }
     }
 

@@ -61,6 +61,71 @@ pub enum MarkKind {
     IoDurable,
 }
 
+impl Lane {
+    /// Stable wire name used in observability events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Host => "host",
+            Lane::Ndp => "ndp",
+        }
+    }
+
+    /// Inverse of [`Lane::name`].
+    pub fn from_name(s: &str) -> Option<Lane> {
+        match s {
+            "host" => Some(Lane::Host),
+            "ndp" => Some(Lane::Ndp),
+            _ => None,
+        }
+    }
+}
+
+impl SpanKind {
+    /// Stable wire name used in observability events.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::CkptLocal => "ckpt_local",
+            SpanKind::CkptIo => "ckpt_io",
+            SpanKind::RestoreLocal => "restore_local",
+            SpanKind::RestoreIo => "restore_io",
+            SpanKind::Drain => "drain",
+        }
+    }
+
+    /// Inverse of [`SpanKind::name`].
+    pub fn from_name(s: &str) -> Option<SpanKind> {
+        match s {
+            "compute" => Some(SpanKind::Compute),
+            "ckpt_local" => Some(SpanKind::CkptLocal),
+            "ckpt_io" => Some(SpanKind::CkptIo),
+            "restore_local" => Some(SpanKind::RestoreLocal),
+            "restore_io" => Some(SpanKind::RestoreIo),
+            "drain" => Some(SpanKind::Drain),
+            _ => None,
+        }
+    }
+}
+
+impl MarkKind {
+    /// Stable wire name used in observability events.
+    pub fn name(self) -> &'static str {
+        match self {
+            MarkKind::Failure => "failure",
+            MarkKind::IoDurable => "io_durable",
+        }
+    }
+
+    /// Inverse of [`MarkKind::name`].
+    pub fn from_name(s: &str) -> Option<MarkKind> {
+        match s {
+            "failure" => Some(MarkKind::Failure),
+            "io_durable" => Some(MarkKind::IoDurable),
+            _ => None,
+        }
+    }
+}
+
 /// Collected trace of one run.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
@@ -71,6 +136,46 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Rebuilds a timeline from an observability event stream.
+    ///
+    /// Only [`cr_obs::EventKind::Span`] and [`cr_obs::EventKind::Mark`]
+    /// events contribute; everything else (drain engine, NVM, fault
+    /// plane traffic sharing the same bus) is skipped. Unknown lane or
+    /// kind names are skipped too, so a trace can always be rebuilt
+    /// from a stream containing events from a newer producer.
+    pub fn from_events(events: &[cr_obs::Event]) -> Trace {
+        let mut out = Trace::default();
+        for e in events {
+            match e.kind {
+                cr_obs::EventKind::Span {
+                    lane,
+                    span,
+                    t0,
+                    t1,
+                    interrupted,
+                } => {
+                    if let (Some(lane), Some(kind)) =
+                        (Lane::from_name(lane), SpanKind::from_name(span))
+                    {
+                        out.spans.push(TraceSpan {
+                            lane,
+                            kind,
+                            t0,
+                            t1,
+                            interrupted,
+                        });
+                    }
+                }
+                cr_obs::EventKind::Mark { mark } => {
+                    if let Some(kind) = MarkKind::from_name(mark) {
+                        out.marks.push(TraceMark { t: e.t, kind });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
     /// Renders an ASCII timeline between `from` and `to` seconds with
     /// `width` columns — the textual cousin of the paper's Figure 3.
     pub fn render_ascii(&self, from: f64, to: f64, width: usize) -> String {

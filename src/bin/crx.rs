@@ -160,6 +160,7 @@ COMMANDS:
   sweep      sweep mtti|size|p-local and print CSV progress rates
   study      run the compression study on synthetic mini-app images
   sizing     NDP sizing table for the paper's utilities (Table 3)
+  trace      run one observed replica and render its Fig. 3 timeline
 
 SYSTEM FLAGS (evaluate/ratio/sweep):
   --mtti MIN     system MTTI in minutes        [30]
@@ -173,6 +174,17 @@ STRATEGY FLAGS:
   --compress F   compression factor 0..1       [off]
   --ratio K      host local:IO ratio           [optimal]
   --interval S   local checkpoint interval     [150]
+
+TRACE FLAGS:
+  --seed N       replica seed                  [42]
+  --failures N   failures to simulate          [25]
+  --sink S       off | vec | ring | json       [vec]
+  --ring-cap N   ring sink capacity            [4096]
+  --from S       render window start, seconds  [0]
+  --to S         render window end, seconds    [wall time]
+  --width N      render width in columns       [100]
+  --result-out F write the SimResult debug dump to F
+  --metrics-out F write a metrics/v1 JSON snapshot to F
 
 OTHER:
   --replicas N   simulation replicas           [4]
@@ -364,6 +376,96 @@ fn cmd_sizing(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    use ndp_checkpoint::cr_obs::metrics::Metrics;
+    use ndp_checkpoint::cr_obs::{
+        Bus, EventKind, JsonLinesSink, RingSink, VecSink,
+    };
+    use ndp_checkpoint::cr_sim::{run_engine_observed, SimFaults, Trace};
+
+    let sys = system_from(flags)?;
+    let strat = strategy_from(flags, &sys)?;
+    let opts = SimOptions {
+        seed: flags.get_usize("seed", 42)? as u64,
+        min_failures: flags.get_usize("failures", 25)? as u64,
+        min_work: 0.0,
+        max_wall: 1e12,
+    };
+
+    let sink_name = flags.get("sink").unwrap_or("vec");
+    let bus = match sink_name {
+        "off" => Bus::disabled(),
+        "vec" => Bus::with_sink(VecSink::new()),
+        "ring" => {
+            Bus::with_sink(RingSink::new(flags.get_usize("ring-cap", 4096)?))
+        }
+        "json" => Bus::with_sink(JsonLinesSink::new()),
+        other => {
+            return Err(format!("unknown --sink {other} (off|vec|ring|json)"))
+        }
+    };
+
+    let result =
+        run_engine_observed(&sys, &strat, &opts, &SimFaults::default(), &bus);
+
+    // The json sink renders eagerly; vec/ring retain events we can
+    // rebuild the timeline (and metrics) from.
+    let rendered = bus.render();
+    let events = bus.drain();
+    let trace = Trace::from_events(&events);
+
+    println!("strategy: {} | seed {}", strat.label(), opts.seed);
+    println!(
+        "wall {:.0} s | work {:.0} s | failures {} | events {}",
+        result.stats.wall_time,
+        result.stats.work_done,
+        result.stats.failures,
+        events.len()
+    );
+    if !events.is_empty() {
+        let from = flags.get_f64("from", 0.0)?;
+        let to = flags.get_f64("to", result.stats.wall_time)?;
+        let width = flags.get_usize("width", 100)?.max(10);
+        if to <= from {
+            return Err(format!("--to ({to}) must exceed --from ({from})"));
+        }
+        print!("{}", trace.render_ascii(from, to, width));
+    }
+    if sink_name == "json" {
+        print!("{rendered}");
+    }
+
+    let ensure_dir = |path: &str| {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+    };
+    if let Some(path) = flags.get("result-out") {
+        ensure_dir(path);
+        let dump = format!("{result:?}\n");
+        std::fs::write(path, dump)
+            .map_err(|e| format!("--result-out {path}: {e}"))?;
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        ensure_dir(path);
+        let mut m = Metrics::new();
+        m.inc("events_total", events.len() as u64);
+        for e in &events {
+            m.inc(&format!("events_{}", e.kind.name()), 1);
+            if let EventKind::Span { t0, t1, .. } = e.kind {
+                m.observe("span_us", ((t1 - t0) * 1e6) as u64);
+            }
+        }
+        m.gauge("wall_time_s", result.stats.wall_time);
+        m.gauge("work_done_s", result.stats.work_done);
+        std::fs::write(path, m.to_json("crx_trace"))
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = Flags::parse(&args)?;
@@ -378,6 +480,7 @@ fn run() -> Result<(), String> {
         "sweep" => cmd_sweep(&flags),
         "study" => cmd_study(&flags),
         "sizing" => cmd_sizing(&flags),
+        "trace" => cmd_trace(&flags),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
 }

@@ -16,6 +16,9 @@
 //! * [`cr_node`] — a functional emulation of an NDP-equipped compute
 //!   node: NVM circular buffers, drain engine, NIC backpressure,
 //!   failure injection and recovery.
+//! * [`cr_obs`] — the observability plane: a structured event bus,
+//!   metrics registry and stage profiler shared by every crate above,
+//!   all zero-overhead when disabled.
 //!
 //! The `cr-bench` crate (not re-exported; it is a binary/bench crate)
 //! regenerates every table and figure of the paper — see `DESIGN.md`
@@ -44,6 +47,7 @@
 pub use cr_compress;
 pub use cr_core;
 pub use cr_node;
+pub use cr_obs;
 pub use cr_sim;
 pub use cr_workloads;
 
