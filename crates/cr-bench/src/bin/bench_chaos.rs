@@ -75,6 +75,15 @@ impl Opts {
     }
 }
 
+/// `num / den` as a fraction, 0.0 when the denominator is zero.
+fn frac(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -595,6 +604,48 @@ fn main() {
                 (
                     "corruptions_detected".into(),
                     Json::Int(totals.corruptions_detected as i64),
+                ),
+            ]),
+        ),
+        // Derived health indicators, folded from the chaos totals (NOT
+        // from the observability bus, so the report stays byte-identical
+        // whether CHAOS_OBS is set or not — a property CI checks).
+        (
+            "indicators".into(),
+            Json::Obj(vec![
+                (
+                    "drain_completion_fraction".into(),
+                    Json::Num(frac(
+                        totals.drains_completed,
+                        totals.drains_completed + totals.drains_cancelled,
+                    )),
+                ),
+                (
+                    "drain_degrade_fraction".into(),
+                    Json::Num(frac(
+                        totals.drains_degraded,
+                        totals.drains_completed + totals.drains_degraded,
+                    )),
+                ),
+                (
+                    "faults_per_episode".into(),
+                    Json::Num(total_faults as f64 / opts.episodes as f64),
+                ),
+                (
+                    "io_retries_per_fault".into(),
+                    Json::Num(frac(totals.io_retries, total_faults)),
+                ),
+                (
+                    "recovery_success_fraction".into(),
+                    Json::Num(frac(
+                        totals.recoveries_local
+                            + totals.recoveries_partner
+                            + totals.recoveries_remote,
+                        totals.recoveries_local
+                            + totals.recoveries_partner
+                            + totals.recoveries_remote
+                            + totals.unsurvivable,
+                    )),
                 ),
             ]),
         ),

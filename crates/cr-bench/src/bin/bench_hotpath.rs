@@ -186,8 +186,10 @@ fn scaling_section(
 
 /// Drives the full drain pipeline (host checkpoint -> NVM -> NDP
 /// compress -> NIC -> remote object) with the stage profiler enabled
-/// and reports the per-stage tokenize/entropy/frame/ship breakdown.
-fn stages_section(image: &[u8]) -> Json {
+/// and reports the per-stage tokenize/entropy/frame/ship breakdown,
+/// plus the derived `indicators/v1` values folded from the node's
+/// event stream (drain jobs, stalls, spans).
+fn stages_section(image: &[u8]) -> (Json, Json) {
     println!("== per-stage drain pipeline breakdown ==");
     let cfg = NodeConfig {
         drain_ratio: 1, // drain every checkpoint so all stages fire
@@ -196,6 +198,8 @@ fn stages_section(image: &[u8]) -> Json {
     };
     let mut node = ComputeNode::new(cfg);
     node.register_app("bench");
+    let bus = cr_obs::Bus::with_sink(cr_obs::VecSink::new());
+    node.set_observer(&bus);
 
     stage::reset();
     stage::set_enabled(true);
@@ -207,6 +211,15 @@ fn stages_section(image: &[u8]) -> Json {
         }
     }
     stage::set_enabled(false);
+
+    let report = cr_obs::analyze::analyze("bench_hotpath", &bus.drain());
+    let indicators = Json::Obj(
+        report
+            .values()
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect(),
+    );
 
     let mut rows = Vec::new();
     for snap in stage::snapshot() {
@@ -226,7 +239,7 @@ fn stages_section(image: &[u8]) -> Json {
         ]));
     }
     stage::reset();
-    Json::Arr(rows)
+    (Json::Arr(rows), indicators)
 }
 
 fn main() {
@@ -250,7 +263,7 @@ fn main() {
 
     let codecs = codec_section(&opts, &images);
     let scaling = scaling_section(&opts, &scaling_image, effective_cores);
-    let stages = stages_section(&scaling_image);
+    let (stages, indicators) = stages_section(&scaling_image);
 
     let doc = Json::Obj(vec![
         ("schema".into(), Json::str("bench_codec/v1")),
@@ -287,6 +300,7 @@ fn main() {
         ("codecs".into(), codecs),
         ("scaling".into(), scaling),
         ("stages".into(), stages),
+        ("indicators".into(), indicators),
     ]);
 
     if let Some(dir) = opts.out.parent() {

@@ -27,6 +27,8 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use cr_obs::{Bus, Source};
+
 use crate::{Codec, CodecError};
 
 const MAGIC: &[u8; 4] = b"PAR1";
@@ -45,6 +47,9 @@ pub struct ParallelCodec {
     chunk_size: usize,
     /// Recycled per-chunk output buffers (cleared, capacity kept).
     pool: Mutex<Vec<Vec<u8>>>,
+    /// Observability bus; disabled by default. Codec work is unclocked
+    /// (`t = 0.0`) — spans mark structure, not duration.
+    bus: Bus,
 }
 
 impl ParallelCodec {
@@ -62,7 +67,15 @@ impl ParallelCodec {
             workers: threads.min(cores),
             chunk_size,
             pool: Mutex::new(Vec::new()),
+            bus: Bus::disabled(),
         }
+    }
+
+    /// Attaches an observability bus: each `compress_stream` /
+    /// `decompress` call emits a causal span. Observation never changes
+    /// the container bytes.
+    pub fn set_bus(&mut self, bus: &Bus) {
+        self.bus = bus.clone();
     }
 
     /// Wraps with one worker per available core.
@@ -162,6 +175,9 @@ impl ParallelCodec {
         input: &[u8],
         emit: &mut dyn FnMut(&[u8]),
     ) {
+        // Codec work is unclocked; the guard's drop closes the span on
+        // every return path.
+        let _span = self.bus.span(Source::Codec, "parallel_compress", 0.0);
         let chunks: Vec<&[u8]> = input.chunks(self.chunk_size).collect();
         let n = chunks.len();
         if n == 0 {
@@ -316,6 +332,8 @@ impl Codec for ParallelCodec {
         input: &[u8],
         out: &mut Vec<u8>,
     ) -> Result<(), CodecError> {
+        let _span =
+            self.bus.span(Source::Codec, "parallel_decompress", 0.0);
         out.clear();
         if input.len() < 16 || &input[0..4] != MAGIC {
             return Err(CodecError::new("bad parallel container"));
@@ -462,6 +480,37 @@ mod tests {
             let container = c.compress_to_vec(&data);
             assert_eq!(&container[16..], &streamed[..], "threads {threads}");
         }
+    }
+
+    #[test]
+    fn observed_codec_emits_spans_without_changing_bytes() {
+        let data = sample(100_000);
+        let plain = par(4).compress_to_vec(&data);
+        let mut observed = par(4);
+        let bus = Bus::with_sink(cr_obs::VecSink::new());
+        observed.set_bus(&bus);
+        let container = observed.compress_to_vec(&data);
+        assert_eq!(container, plain, "observation perturbed the bytes");
+        let mut back = Vec::new();
+        observed.decompress(&container, &mut back).unwrap();
+        assert_eq!(back, data);
+        let events = bus.drain();
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                cr_obs::EventKind::SpanOpen { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["parallel_compress", "parallel_decompress"]);
+        // Every open has a matching close.
+        let closes = events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, cr_obs::EventKind::SpanClose { .. })
+            })
+            .count();
+        assert_eq!(closes, 2);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::collections::{HashMap, VecDeque};
 
 use cr_compress::{Codec, CodecError};
 use cr_obs::stage::{self, Stage};
-use cr_obs::{Bus, Event, EventKind, Source};
+use cr_obs::{Bus, Event, EventKind, Source, SpanGuard};
 
 use crate::faults::{DegradePolicy, FaultPlane, FaultSite, RetryPolicy};
 use crate::incremental::IncrementalEncoder;
@@ -138,6 +138,10 @@ struct DrainJob {
     /// Codec permanently disabled for this job (degraded drain after a
     /// codec fault).
     force_uncompressed: bool,
+    /// Causal leaf span covering the job's queue lifetime (enqueue to
+    /// finalize/cancel). `None` on a disabled bus — and after close, so
+    /// a job can never close its span twice.
+    span: Option<SpanGuard>,
 }
 
 impl DrainJob {
@@ -336,6 +340,12 @@ impl NdpEngine {
         if let Some(c) = &self.codec {
             drained_meta = meta.compressed_with(&c.label());
         }
+        // Leaf span: concurrent drain jobs are siblings under the
+        // caller's scope, never ancestors of one another.
+        let span = self.bus.enabled().then(|| {
+            self.bus
+                .span_leaf(Source::Ndp, "drain_job", self.steps as f64)
+        });
         self.emit(EventKind::DrainStart {
             job: slot.0,
             bytes: meta.size,
@@ -355,6 +365,7 @@ impl NdpEngine {
             attempts: 0,
             blocked_until: 0,
             force_uncompressed: false,
+            span,
         });
     }
 
@@ -369,6 +380,12 @@ impl NdpEngine {
     /// a full checkpoint.
     pub fn reset(&mut self) {
         self.stats.drains_cancelled += self.queue.len() as u64;
+        let t = self.steps as f64;
+        for job in &mut self.queue {
+            if let Some(mut sp) = job.span.take() {
+                sp.close(t);
+            }
+        }
         self.queue.clear();
         self.nic.queue.clear();
         self.incr_state.clear();
@@ -427,11 +444,15 @@ impl NdpEngine {
             io.finalize(&key)
                 .map_err(|e| CodecError::new(e.to_string()))?;
             self.stats.drains_completed += 1;
-            self.queue.remove(pos);
+            let mut job =
+                self.queue.remove(pos).expect("finalize position valid");
             self.emit(EventKind::DrainComplete {
                 job: slot.0,
                 bytes_out,
             });
+            if let Some(mut sp) = job.span.take() {
+                sp.close(self.steps as f64);
+            }
             return Ok(StepOutcome::CompletedDrain(slot));
         }
 
@@ -538,12 +559,18 @@ impl NdpEngine {
             {
                 StepOutcome::Retrying
             } else {
+                self.emit(EventKind::DrainStall {
+                    cause: "nic_backpressure",
+                });
                 StepOutcome::Stalled
             });
         };
 
         let nic_available = !self.nic.full();
         if !nic_available && self.policy == BackpressurePolicy::Pause {
+            self.emit(EventKind::DrainStall {
+                cause: "nic_backpressure",
+            });
             return Ok(StepOutcome::Stalled);
         }
 
@@ -726,6 +753,7 @@ impl NdpEngine {
                     job.offset = start;
                     job.compression_done = false;
                     self.stats.blocks_compressed -= 1;
+                    self.emit(EventKind::DrainStall { cause: "spill_full" });
                     return Ok(StepOutcome::Stalled);
                 }
             }
@@ -889,8 +917,8 @@ impl NdpEngine {
     /// restored, so those drains are cancelled too, and the rank's chain
     /// state is reset so its next drain ships a full image.
     fn cancel_job(&mut self, pos: usize, nvm: &mut NvmStore, io: &mut IoNode) {
-        let job = self.queue.remove(pos).expect("cancel position valid");
-        self.scrap_job(&job, nvm, io);
+        let mut job = self.queue.remove(pos).expect("cancel position valid");
+        self.scrap_job(&mut job, nvm, io);
         self.incr_state
             .remove(&(job.meta.app_id.clone(), job.meta.rank));
         while let Some(dep) = self.queue.iter().position(|j| {
@@ -900,13 +928,18 @@ impl NdpEngine {
                 && j.meta.base.is_some()
                 && j.meta.ckpt_id > job.meta.ckpt_id
         }) {
-            let dj = self.queue.remove(dep).expect("dep position valid");
-            self.scrap_job(&dj, nvm, io);
+            let mut dj = self.queue.remove(dep).expect("dep position valid");
+            self.scrap_job(&mut dj, nvm, io);
         }
     }
 
     /// Releases every resource a cancelled job holds.
-    fn scrap_job(&mut self, job: &DrainJob, nvm: &mut NvmStore, io: &mut IoNode) {
+    fn scrap_job(
+        &mut self,
+        job: &mut DrainJob,
+        nvm: &mut NvmStore,
+        io: &mut IoNode,
+    ) {
         io.abort_object(&job.key);
         self.drop_nic_blocks(&job.key);
         for &sid in &job.spilled {
@@ -918,6 +951,9 @@ impl NdpEngine {
         self.stats.drains_cancelled += 1;
         self.stats.drains_degraded += 1;
         self.emit(EventKind::DrainCancel { job: job.slot.0 });
+        if let Some(mut sp) = job.span.take() {
+            sp.close(self.steps as f64);
+        }
     }
 }
 

@@ -33,9 +33,15 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+pub mod analyze;
+pub mod export;
+pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod stage;
 pub mod units;
+
+pub use span::SpanGuard;
 
 /// Where an [`Event`] was produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +56,8 @@ pub enum Source {
     Remote,
     /// The fault-injection plane (`cr-node::faults`).
     Faults,
+    /// A compression codec (`cr-compress`).
+    Codec,
     /// A bench harness or CLI driver.
     Bench,
 }
@@ -63,6 +71,7 @@ impl Source {
             Source::Nvm => "nvm",
             Source::Remote => "remote",
             Source::Faults => "faults",
+            Source::Codec => "codec",
             Source::Bench => "bench",
         }
     }
@@ -180,6 +189,28 @@ pub enum EventKind {
         /// Fault-plane step counter at the firing.
         step: u64,
     },
+    /// A causal span opened (see [`span::SpanGuard`]). `parent` is the
+    /// ID of the enclosing open span, `0` at the root.
+    SpanOpen {
+        /// Span ID (per-bus, dense from 1).
+        id: u64,
+        /// Enclosing span ID (`0` = root).
+        parent: u64,
+        /// Stable span name.
+        name: &'static str,
+    },
+    /// A causal span closed.
+    SpanClose {
+        /// Span ID from the matching [`EventKind::SpanOpen`].
+        id: u64,
+    },
+    /// The drain engine could not make progress this step.
+    DrainStall {
+        /// Stall cause: `"nic_backpressure"` (NIC full under the
+        /// `Pause` policy) or `"spill_full"` (NVM compressed region
+        /// exhausted).
+        cause: &'static str,
+    },
 }
 
 impl EventKind {
@@ -205,6 +236,9 @@ impl EventKind {
             EventKind::ObjectSeal { .. } => "object_seal",
             EventKind::ObjectAbort { .. } => "object_abort",
             EventKind::Fault { .. } => "fault",
+            EventKind::SpanOpen { .. } => "span_open",
+            EventKind::SpanClose { .. } => "span_close",
+            EventKind::DrainStall { .. } => "drain_stall",
         }
     }
 }
@@ -246,11 +280,9 @@ impl Event {
                 t1,
                 interrupted,
             } => {
-                s.push_str(",\"lane\":\"");
-                s.push_str(lane);
-                s.push_str("\",\"span\":\"");
-                s.push_str(span);
-                s.push_str("\",\"t0\":");
+                push_str_field(&mut s, "lane", lane);
+                push_str_field(&mut s, "span", span);
+                s.push_str(",\"t0\":");
                 push_f64(&mut s, *t0);
                 s.push_str(",\"t1\":");
                 push_f64(&mut s, *t1);
@@ -258,9 +290,7 @@ impl Event {
                 s.push_str(if *interrupted { "true" } else { "false" });
             }
             EventKind::Mark { mark } => {
-                s.push_str(",\"mark\":\"");
-                s.push_str(mark);
-                s.push('"');
+                push_str_field(&mut s, "mark", mark);
             }
             EventKind::Failure { level } | EventKind::Recovery { level } => {
                 s.push_str(",\"level\":");
@@ -281,9 +311,7 @@ impl Event {
                 attempt,
                 backoff_steps,
             } => {
-                s.push_str(",\"site\":\"");
-                s.push_str(site);
-                s.push('"');
+                push_str_field(&mut s, "site", site);
                 push_u64(&mut s, "attempt", *attempt as u64);
                 push_u64(&mut s, "backoff_steps", *backoff_steps);
             }
@@ -302,10 +330,19 @@ impl Event {
                 push_u64(&mut s, "bytes", *bytes);
             }
             EventKind::Fault { site, step } => {
-                s.push_str(",\"site\":\"");
-                s.push_str(site);
-                s.push('"');
+                push_str_field(&mut s, "site", site);
                 push_u64(&mut s, "step", *step);
+            }
+            EventKind::SpanOpen { id, parent, name } => {
+                push_u64(&mut s, "id", *id);
+                push_u64(&mut s, "parent", *parent);
+                push_str_field(&mut s, "name", name);
+            }
+            EventKind::SpanClose { id } => {
+                push_u64(&mut s, "id", *id);
+            }
+            EventKind::DrainStall { cause } => {
+                push_str_field(&mut s, "cause", cause);
             }
         }
         s.push('}');
@@ -318,6 +355,17 @@ fn push_u64(s: &mut String, key: &str, v: u64) {
     s.push_str(key);
     s.push_str("\":");
     s.push_str(&v.to_string());
+}
+
+/// Appends `,"key":"value"` with the value JSON-escaped — string
+/// payloads (span/mark/site names) must never break the JSON-lines
+/// stream, whatever characters they carry.
+fn push_str_field(s: &mut String, key: &str, value: &str) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":\"");
+    json::escape_into(s, value);
+    s.push('"');
 }
 
 /// Appends a JSON-safe rendering of `v`: Rust's shortest-roundtrip
@@ -343,6 +391,11 @@ pub trait EventSink: Send {
     /// Render the sink's retained content as JSON lines (one event
     /// per line). Does not clear the sink.
     fn render(&self) -> String;
+    /// Events this sink discarded (bounded sinks overwrite under
+    /// pressure). `0` for lossless sinks.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// An unbounded sink retaining every event, in order.
@@ -381,6 +434,8 @@ pub struct RingSink {
     buf: VecDeque<Event>,
     /// Total events ever recorded (including overwritten ones).
     seen: u64,
+    /// Events overwritten (lost) because the ring was full.
+    dropped: u64,
 }
 
 impl RingSink {
@@ -391,6 +446,7 @@ impl RingSink {
             cap,
             buf: VecDeque::with_capacity(cap),
             seen: 0,
+            dropped: 0,
         }
     }
 
@@ -399,12 +455,20 @@ impl RingSink {
     pub fn seen(&self) -> u64 {
         self.seen
     }
+
+    /// Events lost to overwriting — the ring's flight-recorder shape
+    /// means the *oldest* events go first; a nonzero count tells a
+    /// consumer the retained window is not the whole story.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 impl EventSink for RingSink {
     fn record(&mut self, ev: &Event) {
         if self.buf.len() == self.cap {
             self.buf.pop_front();
+            self.dropped += 1;
         }
         self.buf.push_back(*ev);
         self.seen += 1;
@@ -416,6 +480,10 @@ impl EventSink for RingSink {
 
     fn render(&self) -> String {
         render_lines(self.buf.iter())
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -475,12 +543,20 @@ fn render_lines<'a>(events: impl Iterator<Item = &'a Event>) -> String {
 /// and uninstrumented runs bit-identical and nearly free.
 #[derive(Clone, Default)]
 pub struct Bus {
-    sink: Option<Arc<Mutex<dyn EventSink>>>,
+    inner: Option<Arc<BusInner>>,
+}
+
+/// State shared by all clones of one bus: the sink and the causal-span
+/// bookkeeping. The two locks are disjoint and never held together
+/// (span IDs are allocated before the open event is recorded).
+struct BusInner {
+    sink: Mutex<Box<dyn EventSink>>,
+    spans: Mutex<span::SpanState>,
 }
 
 impl fmt::Debug for Bus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(if self.sink.is_some() {
+        f.write_str(if self.inner.is_some() {
             "Bus(enabled)"
         } else {
             "Bus(disabled)"
@@ -491,25 +567,32 @@ impl fmt::Debug for Bus {
 impl Bus {
     /// The disabled bus: emissions are a branch and nothing more.
     pub fn disabled() -> Self {
-        Bus { sink: None }
+        Bus { inner: None }
     }
 
     /// A bus writing into `sink`.
     pub fn with_sink(sink: impl EventSink + 'static) -> Self {
         Bus {
-            sink: Some(Arc::new(Mutex::new(sink))),
+            inner: Some(Arc::new(BusInner {
+                sink: Mutex::new(Box::new(sink)),
+                spans: Mutex::new(span::SpanState::default()),
+            })),
         }
+    }
+
+    pub(crate) fn inner(&self) -> Option<&Arc<BusInner>> {
+        self.inner.as_ref()
     }
 
     /// True if a sink is attached.
     pub fn enabled(&self) -> bool {
-        self.sink.is_some()
+        self.inner.is_some()
     }
 
     /// Emits an already-built event.
     pub fn emit(&self, ev: Event) {
-        if let Some(sink) = &self.sink {
-            sink.lock().unwrap().record(&ev);
+        if let Some(inner) = &self.inner {
+            inner.sink.lock().unwrap().record(&ev);
         }
     }
 
@@ -518,16 +601,40 @@ impl Bus {
     /// evaluated on a disabled bus. This is the form every hot-path
     /// producer uses.
     pub fn emit_with(&self, f: impl FnOnce() -> Event) {
-        if let Some(sink) = &self.sink {
-            sink.lock().unwrap().record(&f());
+        if let Some(inner) = &self.inner {
+            inner.sink.lock().unwrap().record(&f());
         }
+    }
+
+    /// Opens a *scoped* causal span: spans opened on this bus before
+    /// the guard closes become its children. Returns a no-op guard on
+    /// a disabled bus.
+    pub fn span(
+        &self,
+        source: Source,
+        name: &'static str,
+        t: f64,
+    ) -> SpanGuard {
+        SpanGuard::open(self, source, name, t, false)
+    }
+
+    /// Opens a *leaf* causal span: parented under the current scope but
+    /// never itself a parent — the right shape for overlapping
+    /// activities (concurrent drain jobs are siblings, not nested).
+    pub fn span_leaf(
+        &self,
+        source: Source,
+        name: &'static str,
+        t: f64,
+    ) -> SpanGuard {
+        SpanGuard::open(self, source, name, t, true)
     }
 
     /// Drains retained events out of the sink (empty for a disabled
     /// bus or an eagerly-rendering sink).
     pub fn drain(&self) -> Vec<Event> {
-        match &self.sink {
-            Some(sink) => sink.lock().unwrap().drain(),
+        match &self.inner {
+            Some(inner) => inner.sink.lock().unwrap().drain(),
             None => Vec::new(),
         }
     }
@@ -535,9 +642,18 @@ impl Bus {
     /// Renders the sink's retained content as JSON lines (empty for a
     /// disabled bus).
     pub fn render(&self) -> String {
-        match &self.sink {
-            Some(sink) => sink.lock().unwrap().render(),
+        match &self.inner {
+            Some(inner) => inner.sink.lock().unwrap().render(),
             None => String::new(),
+        }
+    }
+
+    /// Events the sink discarded under pressure (`0` for lossless
+    /// sinks or a disabled bus).
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.sink.lock().unwrap().dropped(),
+            None => 0,
         }
     }
 }
@@ -591,10 +707,100 @@ mod tests {
             ring.record(&ev(i as f64, EventKind::Eviction { bytes: i }));
         }
         assert_eq!(ring.seen(), 5);
+        assert_eq!(ring.dropped(), 3);
         let got = ring.drain();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].kind, EventKind::Eviction { bytes: 3 });
         assert_eq!(got[1].kind, EventKind::Eviction { bytes: 4 });
+        // Draining empties the window but the loss record stays.
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn bus_surfaces_ring_drop_counts() {
+        let bus = Bus::with_sink(RingSink::new(1));
+        assert_eq!(bus.dropped(), 0);
+        bus.emit(ev(0.0, EventKind::DrainPause));
+        bus.emit(ev(1.0, EventKind::DrainResume));
+        bus.emit(ev(2.0, EventKind::LockContention));
+        assert_eq!(bus.dropped(), 2);
+        // Lossless sinks report zero.
+        let vec_bus = Bus::with_sink(VecSink::new());
+        vec_bus.emit(ev(0.0, EventKind::DrainPause));
+        assert_eq!(vec_bus.dropped(), 0);
+        assert_eq!(Bus::disabled().dropped(), 0);
+    }
+
+    #[test]
+    fn hostile_names_round_trip_through_json() {
+        // String payloads can carry quotes, backslashes and control
+        // characters; every rendered line must stay one valid JSON
+        // document that parses back to the original payload.
+        let hostile: &'static str = "we\"ird\\lane\nname\t\u{1}";
+        let cases = vec![
+            EventKind::Span {
+                lane: hostile,
+                span: hostile,
+                t0: 0.0,
+                t1: 1.0,
+                interrupted: true,
+            },
+            EventKind::Mark { mark: hostile },
+            EventKind::DrainRetry {
+                site: hostile,
+                attempt: 1,
+                backoff_steps: 2,
+            },
+            EventKind::Fault {
+                site: hostile,
+                step: 3,
+            },
+            EventKind::SpanOpen {
+                id: 1,
+                parent: 0,
+                name: hostile,
+            },
+            EventKind::DrainStall { cause: hostile },
+        ];
+        for kind in cases {
+            let line = ev(1.5, kind).json_line();
+            let doc = json::parse(&line)
+                .unwrap_or_else(|e| panic!("invalid JSON {line}: {e}"));
+            // Whichever field carries the hostile payload must decode
+            // back to the original string.
+            let fields = ["lane", "span", "mark", "site", "name", "cause"];
+            let decoded = fields
+                .iter()
+                .filter_map(|f| doc.get(f).and_then(|v| v.as_str()))
+                .find(|s| *s == hostile);
+            assert!(decoded.is_some(), "payload lost in {line}");
+        }
+    }
+
+    #[test]
+    fn span_events_render_ids_and_parents() {
+        let line = ev(
+            2.0,
+            EventKind::SpanOpen {
+                id: 7,
+                parent: 3,
+                name: "recovery",
+            },
+        )
+        .json_line();
+        assert!(line.contains("\"id\":7"));
+        assert!(line.contains("\"parent\":3"));
+        assert!(line.contains("\"name\":\"recovery\""));
+        let close = ev(3.0, EventKind::SpanClose { id: 7 }).json_line();
+        assert!(close.contains("\"kind\":\"span_close\""));
+        let stall = ev(
+            4.0,
+            EventKind::DrainStall {
+                cause: "nic_backpressure",
+            },
+        )
+        .json_line();
+        assert!(stall.contains("\"cause\":\"nic_backpressure\""));
     }
 
     #[test]

@@ -83,6 +83,46 @@ impl Hist {
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets[i]
     }
+
+    /// Quantile estimate with **bucket-midpoint semantics**: the
+    /// observation of rank `⌈q·count⌉` (1-based, clamped to
+    /// `[1, count]`) is located in its bucket, and the estimate
+    /// returned is that bucket's midpoint — `0.0` for bucket 0 and
+    /// `(2^(i-1) + 2^i − 1) / 2` for bucket `i ≥ 1`. The true value is
+    /// within 2× of the estimate, which is the resolution log2 buckets
+    /// buy.
+    ///
+    /// `q` is clamped to `[0, 1]`; `q = 0` is the smallest recorded
+    /// bucket's midpoint and `q = 1` the largest. Returns `None` for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(bucket_midpoint(i));
+            }
+        }
+        // Unreachable: cum reaches self.count by construction.
+        None
+    }
+}
+
+/// Midpoint of bucket `i` in `f64`: `0.0` for bucket 0, else the mean
+/// of the bucket's inclusive bounds `[2^(i-1), 2^i − 1]`.
+fn bucket_midpoint(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        let lo = 2f64.powi(i as i32 - 1);
+        let hi = 2f64.powi(i as i32) - 1.0;
+        (lo + hi) / 2.0
+    }
 }
 
 /// A named registry of counters, gauges and histograms.
@@ -230,21 +270,9 @@ fn close_obj(s: &mut String, empty: bool, indent: usize) {
     s.push('}');
 }
 
-/// Minimal JSON string escaping (quotes, backslash, control chars).
+/// Minimal JSON string escaping, shared with the event writer.
 fn push_escaped(s: &mut String, raw: &str) {
-    for c in raw.chars() {
-        match c {
-            '"' => s.push_str("\\\""),
-            '\\' => s.push_str("\\\\"),
-            '\n' => s.push_str("\\n"),
-            '\r' => s.push_str("\\r"),
-            '\t' => s.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                s.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => s.push(c),
-        }
-    }
+    crate::json::escape_into(s, raw);
 }
 
 #[cfg(test)]
@@ -298,6 +326,41 @@ mod tests {
         assert_eq!(h.bucket(1), 2); // the 1s
         assert_eq!(h.bucket(3), 1); // 5 ∈ [4,7]
         assert_eq!(h.bucket(11), 1); // 1024 ∈ [1024, 2047]
+    }
+
+    #[test]
+    fn quantile_boundaries_and_midpoints() {
+        let mut h = Hist::new();
+        // Observations: 0, 1, 5, 5, 1024 → sorted ranks 1..=5.
+        for v in [0u64, 1, 5, 5, 1024] {
+            h.observe(v);
+        }
+        // q=0 clamps to rank 1 → the 0 observation → bucket 0 midpoint.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        // q=0.5 → rank 3 → a 5 → bucket [4,7] midpoint 5.5.
+        assert_eq!(h.quantile(0.5), Some(5.5));
+        // q=1 → rank 5 → 1024 → bucket [1024,2047] midpoint 1535.5.
+        assert_eq!(h.quantile(1.0), Some(1535.5));
+        // Out-of-range q clamps rather than panics.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Hist::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn quantile_single_observation_is_its_bucket_midpoint() {
+        let mut h = Hist::new();
+        h.observe(6); // bucket [4,7], midpoint 5.5
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(5.5));
+        }
     }
 
     #[test]

@@ -432,6 +432,7 @@ impl Engine {
     /// Full recovery process after a failure: repeated restore attempts
     /// until one completes, then rollback.
     fn recover(&mut self) {
+        let mut span = self.bus.span(Source::Sim, "recovery", self.now);
         let mut local = self.sample_failure_level();
         loop {
             let (dur, bucket) = if local {
@@ -463,6 +464,7 @@ impl Engine {
                             level: if local { 1 } else { 2 },
                         },
                     });
+                    span.close(self.now);
                     return;
                 }
                 Outcome::Interrupted => {
@@ -484,6 +486,7 @@ impl Engine {
     }
 
     fn run(mut self, opts: &SimOptions) -> SimResult {
+        let mut replica = self.bus.span(Source::Sim, "replica", 0.0);
         let tau = self.d.interval;
         'outer: loop {
             // 1. Compute segment.
@@ -517,6 +520,8 @@ impl Engine {
                 } else if self.d.t_io_host > 0.0 {
                     // Host-blocking write; retried after local recoveries,
                     // abandoned if an I/O recovery already rewound us.
+                    let mut io_span =
+                        self.bus.span(Source::Sim, "io_commit", self.now);
                     loop {
                         match self.advance_plain(self.d.t_io_host, Bucket::CkptIo)
                         {
@@ -525,6 +530,7 @@ impl Engine {
                                 self.stats.io_ckpts += 1;
                                 self.ckpts_since_io = 0;
                                 self.emit_mark(self.now, MarkKind::IoDurable);
+                                io_span.close(self.now);
                                 break;
                             }
                             Outcome::Interrupted => {
@@ -532,6 +538,7 @@ impl Engine {
                                 if self.ckpts_since_io == 0 {
                                     // I/O recovery rewound to an
                                     // I/O-consistent point; no commit due.
+                                    io_span.close(self.now);
                                     continue 'outer;
                                 }
                             }
@@ -550,6 +557,7 @@ impl Engine {
         self.stats.wall_time = self.now;
         self.stats.work_done = self.work;
         self.stats.truncated = self.now >= opts.max_wall;
+        replica.close(self.now);
         debug_assert!(self.acc.validate().is_ok());
         debug_assert!(
             (self.acc.total() - self.now).abs() < 1e-6 * self.now.max(1.0),

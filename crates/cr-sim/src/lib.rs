@@ -46,5 +46,7 @@ pub use engine::{
     run_engine_faulty, run_engine_observed, run_engine_traced, SimFaults,
     SimOptions, SimResult, SimStats,
 };
-pub use runner::{simulate, simulate_avg, AveragedResult};
+pub use runner::{
+    run_fleet_observed, simulate, simulate_avg, AveragedResult,
+};
 pub use trace::Trace;

@@ -3,8 +3,11 @@
 
 use cr_core::breakdown::Breakdown;
 use cr_core::params::{Strategy, SystemParams};
+use cr_obs::{Bus, Event, VecSink};
 
-use crate::engine::{run_engine, SimOptions, SimResult};
+use crate::engine::{
+    run_engine, run_engine_observed, SimFaults, SimOptions, SimResult,
+};
 use crate::par::par_map;
 
 /// Runs one simulation replica.
@@ -90,6 +93,37 @@ pub fn simulate_avg(
     }
 }
 
+/// Runs `replicas` independent simulations (seeds `base_seed..`) in
+/// parallel, each observed through its own private event bus, and
+/// returns the per-replica results alongside their event streams in
+/// seed order.
+///
+/// This is the multi-node trace-collection entry point: per-replica
+/// streams can be analyzed node by node
+/// ([`cr_obs::analyze::analyze`]), merged into percentile summaries
+/// ([`cr_obs::analyze::merge_percentiles`]), or exported as one
+/// Chrome trace with a `pid` per replica
+/// ([`cr_obs::export::chrome_trace_merged`]). Observation is private
+/// per replica, so the results are bit-identical to
+/// [`simulate_avg`] with the same seeds.
+pub fn run_fleet_observed(
+    sys: &SystemParams,
+    strat: &Strategy,
+    opts: &SimOptions,
+    faults: &SimFaults,
+    replicas: u64,
+) -> Vec<(SimResult, Vec<Event>)> {
+    assert!(replicas >= 1);
+    let seeds: Vec<u64> =
+        (0..replicas).map(|i| opts.seed.wrapping_add(i)).collect();
+    par_map(&seeds, |&seed| {
+        let opts = SimOptions { seed, ..*opts };
+        let bus = Bus::with_sink(VecSink::new());
+        let result = run_engine_observed(sys, strat, &opts, faults, &bus);
+        (result, bus.drain())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +173,33 @@ mod tests {
         let strat = Strategy::LocalOnly { interval: None };
         let avg = simulate_avg(&sys(), &strat, &SimOptions::quick(5), 1);
         assert!(avg.sem_progress().is_nan());
+    }
+
+    #[test]
+    fn fleet_matches_unobserved_replicas_in_seed_order() {
+        let strat = Strategy::local_io_ndp(0.85, None);
+        let opts = SimOptions::quick(7);
+        let fleet = run_fleet_observed(
+            &sys(),
+            &strat,
+            &opts,
+            &SimFaults::default(),
+            3,
+        );
+        assert_eq!(fleet.len(), 3);
+        let avg = simulate_avg(&sys(), &strat, &opts, 3);
+        for (i, (result, events)) in fleet.iter().enumerate() {
+            // Observation never perturbs the run.
+            assert_eq!(
+                result.stats.wall_time,
+                avg.replicas[i].stats.wall_time
+            );
+            assert!(!events.is_empty(), "replica {i} produced no events");
+        }
+        // Replicas differ (different seeds) and streams are private.
+        assert_ne!(
+            fleet[0].0.stats.wall_time,
+            fleet[1].0.stats.wall_time
+        );
     }
 }

@@ -304,4 +304,88 @@ mod tests {
         let host_line = s.lines().next().unwrap();
         assert!(!host_line.contains('='));
     }
+
+    #[test]
+    fn adversarial_streams_never_panic() {
+        use cr_obs::{Event, EventKind, Source};
+        let ev = |t: f64, source: Source, kind: EventKind| Event {
+            t,
+            source,
+            kind,
+        };
+        // Unclosed causal spans, out-of-order timestamps, orphan
+        // closes, unknown span/lane/mark names, events from every
+        // source — a hostile stream must produce a (possibly empty)
+        // trace, never a panic.
+        let events = vec![
+            ev(
+                9.0,
+                Source::Sim,
+                EventKind::SpanOpen {
+                    id: 5,
+                    parent: 99,
+                    name: "never_closed",
+                },
+            ),
+            ev(3.0, Source::Sim, EventKind::SpanClose { id: 777 }),
+            ev(
+                5.0,
+                Source::Sim,
+                EventKind::Span {
+                    lane: "submarine",
+                    span: "snorkel",
+                    t0: 8.0,
+                    t1: 2.0, // t1 < t0
+                    interrupted: true,
+                },
+            ),
+            ev(
+                1.0, // timestamps regress
+                Source::Sim,
+                EventKind::Mark {
+                    mark: "not_a_known_mark",
+                },
+            ),
+            ev(0.5, Source::Faults, EventKind::LockContention),
+            ev(
+                0.0,
+                Source::Ndp,
+                EventKind::DrainStall {
+                    cause: "nic_backpressure",
+                },
+            ),
+            ev(
+                -4.0,
+                Source::Sim,
+                EventKind::Span {
+                    lane: "host",
+                    span: "compute",
+                    t0: -4.0,
+                    t1: -1.0,
+                    interrupted: false,
+                },
+            ),
+        ];
+        let trace = Trace::from_events(&events);
+        // Unknown names are skipped, known ones kept (even with odd
+        // timestamps).
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.marks.len(), 0);
+        assert_eq!(trace.time_in(SpanKind::Compute), 3.0);
+        // Rendering a window over the weird span must not panic either.
+        let _ = trace.render_ascii(-5.0, 1.0, 30);
+    }
+
+    #[test]
+    fn empty_and_unknown_only_streams_yield_empty_traces() {
+        use cr_obs::{Event, EventKind, Source};
+        assert!(Trace::from_events(&[]).spans.is_empty());
+        let events = vec![Event {
+            t: 1.0,
+            source: Source::Bench,
+            kind: EventKind::Mark { mark: "mystery" },
+        }];
+        let trace = Trace::from_events(&events);
+        assert!(trace.spans.is_empty() && trace.marks.is_empty());
+    }
 }

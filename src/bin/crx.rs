@@ -161,6 +161,9 @@ COMMANDS:
   study      run the compression study on synthetic mini-app images
   sizing     NDP sizing table for the paper's utilities (Table 3)
   trace      run one observed replica and render its Fig. 3 timeline
+  report     run an observed fleet and print derived C/R indicators
+  export     export an observed fleet as a Chrome trace (Perfetto) JSON
+  obs diff   compare two metrics/indicators JSON snapshots (gate)
 
 SYSTEM FLAGS (evaluate/ratio/sweep):
   --mtti MIN     system MTTI in minutes        [30]
@@ -186,11 +189,30 @@ TRACE FLAGS:
   --result-out F write the SimResult debug dump to F
   --metrics-out F write a metrics/v1 JSON snapshot to F
 
+REPORT / EXPORT FLAGS:
+  --seed N       base replica seed             [42]
+  --replicas N   observed replicas (fleet)     [report 4, export 2]
+  --failures N   failures per replica          [report 400, export 25]
+  --out F        write JSON to F instead of stdout summary only
+
+OBS DIFF (crx obs diff <baseline.json> <current.json>):
+  --tol F        default relative tolerance    [0.05]
+  --tol-key K=F  per-key override (repeatable, flattened dotted key)
+
 OTHER:
   --replicas N   simulation replicas           [4]
   --failures N   failures per replica          [2000]
   --mb N         study image size in MiB       [4]
 ";
+
+/// Creates the parent directory of `path` if needed.
+fn ensure_parent_dir(path: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+}
 
 fn cmd_project(_flags: &Flags) -> Result<(), String> {
     use ndp_checkpoint::cr_core::projection::ExascaleProjection;
@@ -409,18 +431,26 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
         run_engine_observed(&sys, &strat, &opts, &SimFaults::default(), &bus);
 
     // The json sink renders eagerly; vec/ring retain events we can
-    // rebuild the timeline (and metrics) from.
+    // rebuild the timeline (and metrics) from. Read the drop count
+    // before draining so it reflects the run just observed.
+    let dropped = bus.dropped();
     let rendered = bus.render();
     let events = bus.drain();
     let trace = Trace::from_events(&events);
 
     println!("strategy: {} | seed {}", strat.label(), opts.seed);
+    let drop_note = if dropped > 0 {
+        format!(" (ring dropped {dropped})")
+    } else {
+        String::new()
+    };
     println!(
-        "wall {:.0} s | work {:.0} s | failures {} | events {}",
+        "wall {:.0} s | work {:.0} s | failures {} | events {}{}",
         result.stats.wall_time,
         result.stats.work_done,
         result.stats.failures,
-        events.len()
+        events.len(),
+        drop_note
     );
     if !events.is_empty() {
         let from = flags.get_f64("from", 0.0)?;
@@ -435,21 +465,14 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
         print!("{rendered}");
     }
 
-    let ensure_dir = |path: &str| {
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            if !dir.as_os_str().is_empty() {
-                let _ = std::fs::create_dir_all(dir);
-            }
-        }
-    };
     if let Some(path) = flags.get("result-out") {
-        ensure_dir(path);
+        ensure_parent_dir(path);
         let dump = format!("{result:?}\n");
         std::fs::write(path, dump)
             .map_err(|e| format!("--result-out {path}: {e}"))?;
     }
     if let Some(path) = flags.get("metrics-out") {
-        ensure_dir(path);
+        ensure_parent_dir(path);
         let mut m = Metrics::new();
         m.inc("events_total", events.len() as u64);
         for e in &events {
@@ -464,6 +487,188 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("--metrics-out {path}: {e}"))?;
     }
     Ok(())
+}
+
+/// Per-replica result and event stream from an observed fleet run.
+type FleetRuns =
+    Vec<(ndp_checkpoint::cr_sim::SimResult, Vec<ndp_checkpoint::cr_obs::Event>)>;
+
+/// Runs an observed fleet with the report/export flag conventions.
+fn observed_fleet(
+    flags: &Flags,
+    default_replicas: usize,
+    default_failures: usize,
+) -> Result<(SystemParams, Strategy, SimOptions, FleetRuns), String> {
+    use ndp_checkpoint::cr_sim::{run_fleet_observed, SimFaults};
+    let sys = system_from(flags)?;
+    let strat = strategy_from(flags, &sys)?;
+    let replicas = flags.get_usize("replicas", default_replicas)?.max(1) as u64;
+    let opts = SimOptions {
+        seed: flags.get_usize("seed", 42)? as u64,
+        min_failures: flags.get_usize("failures", default_failures)? as u64,
+        min_work: 0.0,
+        max_wall: 1e12,
+    };
+    let fleet = run_fleet_observed(
+        &sys,
+        &strat,
+        &opts,
+        &SimFaults::default(),
+        replicas,
+    );
+    Ok((sys, strat, opts, fleet))
+}
+
+fn cmd_report(flags: &Flags) -> Result<(), String> {
+    use ndp_checkpoint::cr_obs::analyze::{analyze, merge_percentiles};
+
+    let (sys, strat, opts, fleet) = observed_fleet(flags, 4, 400)?;
+    let per_node: Vec<_> = fleet
+        .iter()
+        .enumerate()
+        .map(|(i, (_, events))| analyze(&format!("node{i}"), events))
+        .collect();
+    let label = format!(
+        "{} seed {} x{}",
+        strat.label(),
+        opts.seed,
+        fleet.len()
+    );
+    let mut report = if per_node.len() > 1 {
+        merge_percentiles(&label, &per_node)
+    } else {
+        let mut r = per_node[0].clone();
+        r.label = label;
+        r
+    };
+
+    // Analytic-model-vs-sim divergence: predicted progress rate from
+    // the Markov-renewal solution against the pooled simulated rate.
+    let sol = analytic::solve_cycle(&sys, &strat);
+    let predicted = sol.progress_rate();
+    let (mut compute, mut wall) = (0.0, 0.0);
+    for (r, _) in &fleet {
+        compute += r.breakdown.compute;
+        wall += r.breakdown.total();
+    }
+    let observed = if wall > 0.0 { compute / wall } else { 0.0 };
+    report.set("model_progress_predicted", predicted);
+    report.set("model_progress_observed", observed);
+    report.set(
+        "model_divergence",
+        if predicted > 0.0 {
+            (observed - predicted).abs() / predicted
+        } else {
+            0.0
+        },
+    );
+
+    println!("indicators: {}", report.label);
+    for (k, v) in report.values() {
+        println!("  {k:<34} {v}");
+    }
+    if let Some(path) = flags.get("out") {
+        ensure_parent_dir(path);
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("--out {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_export(flags: &Flags) -> Result<(), String> {
+    use ndp_checkpoint::cr_obs::export::{
+        chrome_trace_merged, validate_chrome_trace,
+    };
+
+    let (_sys, strat, opts, fleet) = observed_fleet(flags, 2, 25)?;
+    let streams: Vec<&[ndp_checkpoint::cr_obs::Event]> =
+        fleet.iter().map(|(_, e)| e.as_slice()).collect();
+    let text = chrome_trace_merged(&streams);
+    validate_chrome_trace(&text)
+        .map_err(|e| format!("exporter produced an invalid trace: {e}"))?;
+    match flags.get("out") {
+        Some(path) => {
+            ensure_parent_dir(path);
+            std::fs::write(path, &text)
+                .map_err(|e| format!("--out {path}: {e}"))?;
+            println!(
+                "wrote {path}: {} nodes, {} events ({} | seed {})",
+                fleet.len(),
+                fleet.iter().map(|(_, e)| e.len()).sum::<usize>(),
+                strat.label(),
+                opts.seed
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_obs_diff(flags: &Flags) -> Result<(), String> {
+    use ndp_checkpoint::cr_obs::analyze::{diff_flat, flatten_numbers};
+    use ndp_checkpoint::cr_obs::json;
+
+    if flags.positional.len() < 4 {
+        return Err(format!(
+            "usage: crx obs diff <baseline.json> <current.json>\n\n{USAGE}"
+        ));
+    }
+    let (base_path, cur_path) =
+        (&flags.positional[2], &flags.positional[3]);
+    let load = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(flatten_numbers(&doc))
+    };
+    let base = load(base_path)?;
+    let current = load(cur_path)?;
+
+    let tol = flags.get_f64("tol", 0.05)?;
+    let mut per_key = std::collections::BTreeMap::new();
+    for (k, v) in &flags.named {
+        if k == "tol-key" {
+            let (key, t) = v.split_once('=').ok_or_else(|| {
+                format!("--tol-key wants key=tolerance, got {v}")
+            })?;
+            let t: f64 = t
+                .parse()
+                .map_err(|_| format!("--tol-key {key}: bad tolerance {t}"))?;
+            per_key.insert(key.to_string(), t);
+        }
+    }
+
+    let diff = diff_flat(&base, &current, tol, &per_key);
+    println!(
+        "compared {} keys ({} added in current), default tol {:.1}%",
+        diff.compared,
+        diff.added.len(),
+        tol * 100.0
+    );
+    for m in &diff.missing {
+        println!("  MISSING  {m} (in baseline, absent from current)");
+    }
+    for r in &diff.regressions {
+        println!(
+            "  REGRESSED {} : {} -> {} ({:+.2}% vs tol {:.1}%)",
+            r.key,
+            r.base,
+            r.current,
+            (r.current - r.base) / r.base.abs().max(1e-9) * 100.0,
+            per_key.get(&r.key).copied().unwrap_or(tol) * 100.0
+        );
+    }
+    if diff.ok() {
+        println!("OK: within tolerance");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} regression(s), {} missing key(s)",
+            diff.regressions.len(),
+            diff.missing.len()
+        ))
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -481,6 +686,14 @@ fn run() -> Result<(), String> {
         "study" => cmd_study(&flags),
         "sizing" => cmd_sizing(&flags),
         "trace" => cmd_trace(&flags),
+        "report" => cmd_report(&flags),
+        "export" => cmd_export(&flags),
+        "obs" => match flags.positional.get(1).map(String::as_str) {
+            Some("diff") => cmd_obs_diff(&flags),
+            other => Err(format!(
+                "unknown obs subcommand {other:?} (expected: diff)\n\n{USAGE}"
+            )),
+        },
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
 }
