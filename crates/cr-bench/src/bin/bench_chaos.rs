@@ -16,9 +16,12 @@
 //! predicts the serving level from the node's storage state (with the
 //! fault plane quiesced so the prediction itself cannot be perturbed).
 //!
-//! Everything is derived from `CHAOS_SEED`, so two runs with the same
-//! seed produce byte-identical reports — including the CRC-64 digest of
-//! all fault logs. Knobs, all via environment:
+//! Episodes are seeded independently (`splitmix(seed ^ splitmix(index))`)
+//! and run in parallel on the workspace work-stealing executor; their
+//! outputs are folded in episode order, so everything is derived from
+//! `CHAOS_SEED` and two runs with the same seed produce byte-identical
+//! reports at any worker count — including the CRC-64 digest of all
+//! fault logs. Knobs, all via environment:
 //!
 //! * `CHAOS_EPISODES` — episode count (default 500)
 //! * `CHAOS_SEED`     — base seed (default 7)
@@ -27,10 +30,12 @@
 //! Exit status is nonzero on any invariant violation, or — for full-size
 //! sweeps (≥ 500 episodes) — if any fault site never fired.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
 
 use cr_bench::perf::Json;
+use cr_core::par::par_map_chunked;
 use cr_node::faults::{FaultPlaneConfig, FAULT_SITES};
 use cr_node::integrity::Crc64;
 use cr_node::ndp::{BackpressurePolicy, IncrementalPolicy, StepOutcome};
@@ -176,10 +181,47 @@ struct Totals {
     incremental_drains: u64,
 }
 
+impl Totals {
+    /// Folds another episode's counters into this accumulator (all
+    /// fields are sums, so fold order cannot affect the result).
+    fn add(&mut self, o: &Totals) {
+        self.checkpoints += o.checkpoints;
+        self.checkpoints_skipped += o.checkpoints_skipped;
+        self.mid_restores += o.mid_restores;
+        self.recoveries_local += o.recoveries_local;
+        self.recoveries_partner += o.recoveries_partner;
+        self.recoveries_remote += o.recoveries_remote;
+        self.unsurvivable += o.unsurvivable;
+        self.corruptions_detected += o.corruptions_detected;
+        self.drains_completed += o.drains_completed;
+        self.drains_cancelled += o.drains_cancelled;
+        self.drains_degraded += o.drains_degraded;
+        self.codec_fallbacks += o.codec_fallbacks;
+        self.ndp_crashes += o.ndp_crashes;
+        self.io_retries += o.io_retries;
+        self.blocks_retransmitted += o.blocks_retransmitted;
+        self.incremental_drains += o.incremental_drains;
+    }
+}
+
+/// Everything one episode produces, collected so episodes can run on
+/// worker threads and be folded into the report in episode order (the
+/// fault-log digest and the violations list are order-sensitive).
+struct EpisodeOutput {
+    totals: Totals,
+    violations: Vec<String>,
+    site_counts: Vec<u64>,
+    /// Bytes this episode contributes to the global fault-log digest
+    /// (episode tag line + rendered fault log).
+    log: Vec<u8>,
+    /// Under `CHAOS_OBS`: per-metric event-count increments.
+    event_counts: Vec<(String, u64)>,
+}
+
 struct Episode<'a> {
     node: ComputeNode,
     rng: ChaCha8,
-    shadow: HashMap<u64, Vec<u8>>,
+    shadow: &'a mut HashMap<u64, Vec<u8>>,
     next_id: u64,
     totals: &'a mut Totals,
     violations: &'a mut Vec<String>,
@@ -301,7 +343,7 @@ impl Episode<'_> {
         }
     }
 
-    fn finish(&mut self, site_counts: &mut [u64], digest: &mut Crc64) {
+    fn finish(&mut self, site_counts: &mut [u64], log: &mut Vec<u8>) {
         // Settle all queued drains (retries/degradations included).
         if let Err(e) = self.node.drain_all() {
             self.violations.push(format!(
@@ -359,21 +401,46 @@ impl Episode<'_> {
         for (i, site) in FAULT_SITES.iter().enumerate() {
             site_counts[i] += self.node.faults().count(*site);
         }
-        digest.update(format!("episode {}\n", self.tag).as_bytes());
-        digest.update(self.node.faults().render_log().as_bytes());
+        log.extend_from_slice(format!("episode {}\n", self.tag).as_bytes());
+        log.extend_from_slice(self.node.faults().render_log().as_bytes());
     }
 }
 
-fn run_episode(
+thread_local! {
+    /// Per-worker shadow-copy map, reused (cleared, capacity kept)
+    /// across the hundreds of episodes a worker runs, so steady-state
+    /// episodes stop paying hash-table growth.
+    static SHADOW_POOL: RefCell<HashMap<u64, Vec<u8>>> =
+        RefCell::new(HashMap::new());
+}
+
+fn run_episode(index: u64, seed: u64, obs: bool) -> EpisodeOutput {
+    SHADOW_POOL.with(|cell| {
+        let mut shadow = cell.borrow_mut();
+        shadow.clear();
+        run_episode_with(index, seed, obs, &mut shadow)
+    })
+}
+
+fn run_episode_with(
     index: u64,
-    opts: &Opts,
-    bus: &Bus,
-    totals: &mut Totals,
-    violations: &mut Vec<String>,
-    site_counts: &mut [u64],
-    digest: &mut Crc64,
-) {
-    let eseed = splitmix(opts.seed ^ splitmix(index));
+    seed: u64,
+    obs: bool,
+    shadow: &mut HashMap<u64, Vec<u8>>,
+) -> EpisodeOutput {
+    let mut totals = Totals::default();
+    let mut violations = Vec::new();
+    let mut site_counts = vec![0u64; FAULT_SITES.len()];
+    let mut log = Vec::new();
+    // A private ring per episode: same per-episode capacity the shared
+    // bus provided when episodes ran sequentially (it was drained after
+    // every episode), so observed event counts are unchanged.
+    let bus = if obs {
+        Bus::with_sink(RingSink::new(1 << 16))
+    } else {
+        Bus::disabled()
+    };
+    let eseed = splitmix(seed ^ splitmix(index));
     let mut rng = ChaCha8::seed_from_u64(eseed ^ 0x5EED_CAFE);
     let partner_ratio = (rng.next_u64() % 3) as u32; // 0 disables
     let codec = match rng.next_u64() % 3 {
@@ -406,15 +473,15 @@ fn run_episode(
     };
     let mut node = ComputeNode::new(cfg);
     node.register_app(APP);
-    node.set_observer(bus);
+    node.set_observer(&bus);
 
     let mut ep = Episode {
         node,
         rng,
-        shadow: HashMap::new(),
+        shadow,
         next_id: 0,
-        totals,
-        violations,
+        totals: &mut totals,
+        violations: &mut violations,
         tag: index,
     };
     let n_ckpts = 3 + ep.rng.next_u64() % 6;
@@ -426,7 +493,29 @@ fn run_episode(
         ep.pump(pumps);
         ep.mid_episode_chaos();
     }
-    ep.finish(site_counts, digest);
+    ep.finish(&mut site_counts, &mut log);
+
+    let mut event_counts = Vec::new();
+    if obs {
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for ev in bus.drain() {
+            *counts.entry("events_total".into()).or_default() += 1;
+            *counts
+                .entry(format!("events_{}", ev.kind.name()))
+                .or_default() += 1;
+            *counts
+                .entry(format!("events_from_{}", ev.source.name()))
+                .or_default() += 1;
+        }
+        event_counts = counts.into_iter().collect();
+    }
+    EpisodeOutput {
+        totals,
+        violations,
+        site_counts,
+        log,
+        event_counts,
+    }
 }
 
 fn main() {
@@ -440,30 +529,28 @@ fn main() {
         "== chaos sweep: {} episodes, seed {} ==",
         opts.episodes, opts.seed
     );
-    // CHAOS_OBS attaches one shared ring to every episode's node; event
-    // counts are folded into a metrics registry per episode so the
-    // bounded ring never loses information the snapshot needs.
-    let bus = match &opts.obs {
-        Some(_) => Bus::with_sink(RingSink::new(1 << 16)),
-        None => Bus::disabled(),
-    };
+    // Episodes are seeded independently, so they fan out across workers;
+    // outputs come back in episode order and are folded sequentially
+    // (digest and violations are order-sensitive, counters are sums).
+    // CHAOS_OBS gives each episode a private ring whose event counts are
+    // folded into one metrics registry, exactly as the shared
+    // drained-per-episode ring did when episodes ran sequentially.
+    let obs = opts.obs.is_some();
+    let indices: Vec<u64> = (0..opts.episodes).collect();
+    let outputs =
+        par_map_chunked(&indices, |&e| run_episode(e, opts.seed, obs));
     let mut metrics = Metrics::new();
-    for e in 0..opts.episodes {
-        run_episode(
-            e,
-            &opts,
-            &bus,
-            &mut totals,
-            &mut violations,
-            &mut site_counts,
-            &mut digest,
-        );
-        for ev in bus.drain() {
-            metrics.inc("events_total", 1);
-            metrics.inc(&format!("events_{}", ev.kind.name()), 1);
-            metrics.inc(&format!("events_from_{}", ev.source.name()), 1);
+    for (e, out) in outputs.iter().enumerate() {
+        totals.add(&out.totals);
+        violations.extend(out.violations.iter().cloned());
+        for (i, c) in out.site_counts.iter().enumerate() {
+            site_counts[i] += c;
         }
-        if (e + 1) % 100 == 0 {
+        digest.update(&out.log);
+        for (key, n) in &out.event_counts {
+            metrics.inc(key, *n);
+        }
+        if (e as u64 + 1).is_multiple_of(100) {
             println!("  {}/{} episodes", e + 1, opts.episodes);
         }
     }

@@ -195,7 +195,7 @@ impl BucketTotals {
 }
 
 /// Full solution of the cycle chain for one configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CycleSolution {
     /// Expected breakdown per cycle (compute = work_per_cycle exactly).
     pub breakdown: Breakdown,

@@ -57,9 +57,11 @@
 
 pub mod analytic;
 pub mod breakdown;
+pub mod cache;
 pub mod daly;
 pub mod ndp_sizing;
 pub mod optimize;
+pub mod par;
 pub mod params;
 pub mod projection;
 pub mod ratio_opt;
@@ -69,7 +71,11 @@ pub mod units;
 pub mod prelude {
     pub use crate::analytic;
     pub use crate::breakdown::Breakdown;
+    pub use crate::cache::{
+        solve_cycle_cached, solve_cycle_many, CycleCache,
+    };
     pub use crate::daly;
+    pub use crate::par::{par_map_chunked, par_map_in};
     pub use crate::ndp_sizing::{self, NdpSizing};
     pub use crate::params::{
         CompressionSpec, DrainLagModel, Strategy, SystemParams,

@@ -7,7 +7,7 @@
 //! interact: rarer I/O checkpoints shift the optimum interval. This
 //! module searches both, for host and NDP configurations.
 
-use crate::analytic;
+use crate::cache::solve_cycle_cached;
 use crate::daly;
 use crate::params::{CompressionSpec, Strategy, SystemParams};
 
@@ -24,15 +24,18 @@ pub struct PolicyChoice {
     pub ratio: u32,
 }
 
-/// Interval candidates: Daly's optimum scaled over a grid (the response
-/// surface is flat near the optimum, so a coarse multiplicative grid
-/// suffices — see the `repro_ablations` interval study).
-fn interval_candidates(sys: &SystemParams) -> Vec<f64> {
+/// Multipliers applied to Daly's optimum interval to form the candidate
+/// grid (the response surface is flat near the optimum, so a coarse
+/// multiplicative grid suffices — see the `repro_ablations` interval
+/// study).
+pub const INTERVAL_MULTIPLIERS: [f64; 7] =
+    [0.5, 0.7, 0.85, 1.0, 1.2, 1.5, 2.0];
+
+/// Interval candidates for a system, as a fixed-size array: the joint
+/// searches call this inside their grid loops, so it must not allocate.
+fn interval_candidates(sys: &SystemParams) -> [f64; 7] {
     let tau_opt = daly::optimum_interval(sys.mtti, sys.delta_local());
-    [0.5, 0.7, 0.85, 1.0, 1.2, 1.5, 2.0]
-        .iter()
-        .map(|m| tau_opt * m)
-        .collect()
+    INTERVAL_MULTIPLIERS.map(|m| tau_opt * m)
 }
 
 /// Jointly optimises interval and ratio for `Local + I/O-Host`.
@@ -82,7 +85,7 @@ pub fn best_ndp_policy(
             compression,
             drain_lag: Default::default(),
         };
-        let sol = analytic::solve_cycle(sys, &strategy);
+        let sol = solve_cycle_cached(sys, &strategy);
         let progress = sol.progress_rate();
         if best.map(|b| progress > b.progress).unwrap_or(true) {
             best = Some(PolicyChoice {
@@ -114,6 +117,36 @@ mod tests {
             "joint {} < fixed {fixed}",
             joint.progress
         );
+    }
+
+    #[test]
+    fn joint_ndp_search_beats_or_ties_fixed_interval() {
+        // Same regression, NDP side, through the memoized solver: the
+        // 7-candidate grid must never do worse than the paper's fixed
+        // 150 s interval.
+        let sys = SystemParams::exascale_default();
+        let fixed = crate::analytic::progress_rate(
+            &sys,
+            &Strategy::local_io_ndp(0.85, None),
+        );
+        let joint = best_ndp_policy(&sys, 0.85, None);
+        assert!(
+            joint.progress >= fixed - 1e-9,
+            "joint {} < fixed {fixed}",
+            joint.progress
+        );
+    }
+
+    #[test]
+    fn candidate_grid_matches_multipliers() {
+        let sys = SystemParams::exascale_default();
+        let tau_opt =
+            crate::daly::optimum_interval(sys.mtti, sys.delta_local());
+        let grid = interval_candidates(&sys);
+        assert_eq!(grid.len(), INTERVAL_MULTIPLIERS.len());
+        for (c, m) in grid.iter().zip(INTERVAL_MULTIPLIERS) {
+            assert_eq!(*c, tau_opt * m);
+        }
     }
 
     #[test]

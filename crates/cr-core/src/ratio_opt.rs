@@ -7,8 +7,8 @@
 //! I/O more often costs the host nothing, so the best ratio is simply the
 //! smallest sustainable one (computed in [`crate::params::derive_costs`]).
 
-use crate::analytic;
 use crate::breakdown::Breakdown;
+use crate::cache::{solve_cycle_cached, solve_cycle_many};
 use crate::params::{CompressionSpec, Strategy, SystemParams};
 
 /// Default upper bound of the ratio scan. At the paper's 150 s local
@@ -24,11 +24,14 @@ pub fn host_overhead_sweep(
     compression: Option<CompressionSpec>,
     max: u32,
 ) -> Vec<(u32, Breakdown)> {
-    (1..=max)
+    let pairs: Vec<(SystemParams, Strategy)> = (1..=max)
         .map(|ratio| {
-            let strat = Strategy::local_io_host(ratio, p_local, compression);
-            (ratio, analytic::evaluate(sys, &strat))
+            (*sys, Strategy::local_io_host(ratio, p_local, compression))
         })
+        .collect();
+    (1..=max)
+        .zip(solve_cycle_many(&pairs))
+        .map(|(ratio, sol)| (ratio, sol.breakdown))
         .collect()
 }
 
@@ -50,7 +53,7 @@ pub fn best_host_ratio_at(
             p_local,
             compression,
         };
-        let p = analytic::progress_rate(sys, &strat);
+        let p = solve_cycle_cached(sys, &strat).progress_rate();
         if p > best.1 {
             best = (ratio, p);
         }

@@ -1,12 +1,15 @@
 //! Global, lock-free per-stage profiling for the checkpoint hot path.
 //!
-//! The pipeline the paper cares about has four stages: **tokenize**
-//! (LZ matching), **entropy** (Huffman coding), **frame** (building
-//! `[raw][comp][payload]` NDP frames), and **ship** (NIC → I/O node).
-//! This module accumulates wall time and byte counts per stage into
-//! process-global atomics, so instrumentation works unchanged from
-//! `ParallelCodec` worker threads and costs one relaxed atomic load
-//! when disabled (the default).
+//! The codec pipeline the paper cares about has four stages:
+//! **tokenize** (LZ matching), **entropy** (Huffman coding), **frame**
+//! (building `[raw][comp][payload]` NDP frames), and **ship** (NIC →
+//! I/O node). The simulation plane adds two more: **engine** (one
+//! discrete-event replica run) and **solve** (analytic cycle-grid
+//! solving). This module accumulates wall time and byte counts per
+//! stage into process-global atomics, so instrumentation works
+//! unchanged from `ParallelCodec` worker threads and simulator replica
+//! workers, and costs one relaxed atomic load when disabled (the
+//! default).
 //!
 //! Timing is observational only — nothing in the workspace reads these
 //! counters to make a decision — so enabling the profiler cannot
@@ -26,11 +29,25 @@ pub enum Stage {
     Frame,
     /// Shipping frames over the NIC to the I/O node.
     Ship,
+    /// One discrete-event simulator replica run (`cr-sim` engine).
+    Engine,
+    /// Analytic cycle solving for sweep grids (`cr-core`).
+    Solve,
 }
 
-/// All stages, in pipeline order.
-pub const STAGES: [Stage; 4] =
-    [Stage::Tokenize, Stage::Entropy, Stage::Frame, Stage::Ship];
+/// Total number of stages tracked.
+pub const STAGE_COUNT: usize = 6;
+
+/// All stages: codec pipeline first (in pipeline order), then the
+/// simulation-plane stages.
+pub const STAGES: [Stage; STAGE_COUNT] = [
+    Stage::Tokenize,
+    Stage::Entropy,
+    Stage::Frame,
+    Stage::Ship,
+    Stage::Engine,
+    Stage::Solve,
+];
 
 impl Stage {
     /// Stable lower-case name (JSON key in bench output).
@@ -40,6 +57,8 @@ impl Stage {
             Stage::Entropy => "entropy",
             Stage::Frame => "frame",
             Stage::Ship => "ship",
+            Stage::Engine => "engine",
+            Stage::Solve => "solve",
         }
     }
 
@@ -49,37 +68,27 @@ impl Stage {
             Stage::Entropy => 1,
             Stage::Frame => 2,
             Stage::Ship => 3,
+            Stage::Engine => 4,
+            Stage::Solve => 5,
         }
     }
 }
 
 struct Profile {
     enabled: AtomicBool,
-    calls: [AtomicU64; 4],
-    nanos: [AtomicU64; 4],
-    bytes: [AtomicU64; 4],
+    calls: [AtomicU64; STAGE_COUNT],
+    nanos: [AtomicU64; STAGE_COUNT],
+    bytes: [AtomicU64; STAGE_COUNT],
 }
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
 
 static PROFILE: Profile = Profile {
     enabled: AtomicBool::new(false),
-    calls: [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ],
-    nanos: [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ],
-    bytes: [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ],
+    calls: [ZERO; STAGE_COUNT],
+    nanos: [ZERO; STAGE_COUNT],
+    bytes: [ZERO; STAGE_COUNT],
 };
 
 /// Turns the profiler on or off (process-global).
@@ -94,7 +103,7 @@ pub fn is_enabled() -> bool {
 
 /// Zeroes every stage counter (leaves the enable flag alone).
 pub fn reset() {
-    for i in 0..4 {
+    for i in 0..STAGE_COUNT {
         PROFILE.calls[i].store(0, Ordering::Relaxed);
         PROFILE.nanos[i].store(0, Ordering::Relaxed);
         PROFILE.bytes[i].store(0, Ordering::Relaxed);
@@ -168,14 +177,14 @@ impl StageSnap {
     }
 }
 
-/// Snapshot of all four stages, in pipeline order.
-pub fn snapshot() -> [StageSnap; 4] {
+/// Snapshot of all stages, in [`STAGES`] order.
+pub fn snapshot() -> [StageSnap; STAGE_COUNT] {
     let mut out = [StageSnap {
         stage: Stage::Tokenize,
         calls: 0,
         nanos: 0,
         bytes: 0,
-    }; 4];
+    }; STAGE_COUNT];
     for (slot, stage) in out.iter_mut().zip(STAGES) {
         let i = stage.idx();
         *slot = StageSnap {
@@ -246,6 +255,9 @@ mod tests {
     #[test]
     fn stage_names_are_stable() {
         let names: Vec<&str> = STAGES.iter().map(|s| s.name()).collect();
-        assert_eq!(names, ["tokenize", "entropy", "frame", "ship"]);
+        assert_eq!(
+            names,
+            ["tokenize", "entropy", "frame", "ship", "engine", "solve"]
+        );
     }
 }

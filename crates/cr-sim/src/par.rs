@@ -1,89 +1,26 @@
-//! Minimal scoped-thread parallel map used for replica fan-out and
-//! parameter sweeps.
+//! Parallel replica fan-out, backed by the workspace work-stealing
+//! executor ([`cr_core::par`]).
 //!
-//! Replicas of a Monte-Carlo simulation are embarrassingly parallel and
-//! uniform in cost, so a simple atomic-counter work queue over
-//! `std::thread::scope` is all that is needed — no work stealing, no
-//! task graph. Results land in their input positions, so the output
-//! order is deterministic regardless of scheduling.
+//! Replicas of a Monte-Carlo simulation are embarrassingly parallel but
+//! not perfectly uniform in cost (failure-heavy seeds run longer), so
+//! the chunk-claiming, work-stealing executor keeps every core busy
+//! through the stragglers. Results land in their input positions, so
+//! the output order is deterministic regardless of scheduling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub use cr_core::par::{default_threads, par_map_in};
 
 /// Applies `f` to every item, in parallel, preserving order.
 ///
-/// Spawns up to `min(items.len(), available_parallelism)` threads.
-/// Panics in `f` propagate after all threads finish their current item.
+/// Uses up to [`default_threads`] workers. Panics in `f` propagate
+/// after all workers stop.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    let next = AtomicUsize::new(0);
-    let out_slots = &mut out[..];
-
-    std::thread::scope(|scope| {
-        // Hand each worker a raw view of the output buffer: every index
-        // is claimed exactly once via the atomic counter, so no two
-        // workers touch the same slot.
-        let out_addr = SendPtr(out_slots.as_mut_ptr());
-        for _ in 0..threads {
-            let f = &f;
-            let next = &next;
-            let items = &items;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                // SAFETY: index i is uniquely claimed by this worker and
-                // in-bounds; the buffer outlives the scope.
-                unsafe {
-                    *out_addr.get().add(i) = Some(r);
-                }
-            });
-        }
-    });
-
-    out.into_iter()
-        .map(|slot| slot.expect("slot not filled"))
-        .collect()
+    cr_core::par::par_map_chunked(items, f)
 }
-
-/// A `Send + Copy` wrapper for the raw output pointer shared across
-/// workers. Soundness argument in [`par_map`].
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
-impl<T> SendPtr<T> {
-    /// Accessor (rather than direct field use) so closures capture the
-    /// whole `SendPtr` — edition-2021 disjoint capture would otherwise
-    /// capture the raw pointer field, which is not `Send`.
-    fn get(&self) -> *mut T {
-        self.0
-    }
-}
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -133,5 +70,16 @@ mod tests {
         let seq: Vec<f64> = items.iter().map(|x| x.sin()).collect();
         let par = par_map(&items, |x| x.sin());
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let items: Vec<u64> = (0..333).collect();
+        let one = par_map_in(1, &items, |&x| x.wrapping_mul(0x9E37_79B9));
+        for threads in [2, 3, 8] {
+            let many =
+                par_map_in(threads, &items, |&x| x.wrapping_mul(0x9E37_79B9));
+            assert_eq!(one, many, "{threads} threads diverged");
+        }
     }
 }

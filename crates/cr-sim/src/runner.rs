@@ -1,6 +1,8 @@
 //! High-level simulation entry points: single runs and averaged
 //! multi-replica runs.
 
+use std::cell::Cell;
+
 use cr_core::breakdown::Breakdown;
 use cr_core::params::{Strategy, SystemParams};
 use cr_obs::{Bus, Event, VecSink};
@@ -8,7 +10,7 @@ use cr_obs::{Bus, Event, VecSink};
 use crate::engine::{
     run_engine, run_engine_observed, SimFaults, SimOptions, SimResult,
 };
-use crate::par::par_map;
+use crate::par::{default_threads, par_map_in};
 
 /// Runs one simulation replica.
 pub fn simulate(
@@ -73,10 +75,23 @@ pub fn simulate_avg(
     opts: &SimOptions,
     replicas: u64,
 ) -> AveragedResult {
+    simulate_avg_in(default_threads(), sys, strat, opts, replicas)
+}
+
+/// [`simulate_avg`] with an explicit worker-thread count. Replica
+/// results are keyed only by seed, so every thread count produces
+/// bit-identical output (the sim bench asserts this).
+pub fn simulate_avg_in(
+    threads: usize,
+    sys: &SystemParams,
+    strat: &Strategy,
+    opts: &SimOptions,
+    replicas: u64,
+) -> AveragedResult {
     assert!(replicas >= 1);
     let seeds: Vec<u64> =
         (0..replicas).map(|i| opts.seed.wrapping_add(i)).collect();
-    let results = par_map(&seeds, |&seed| {
+    let results = par_map_in(threads, &seeds, |&seed| {
         let opts = SimOptions { seed, ..*opts };
         run_engine(sys, strat, &opts)
     });
@@ -113,14 +128,39 @@ pub fn run_fleet_observed(
     faults: &SimFaults,
     replicas: u64,
 ) -> Vec<(SimResult, Vec<Event>)> {
+    run_fleet_observed_in(default_threads(), sys, strat, opts, faults, replicas)
+}
+
+thread_local! {
+    /// High-water event count of this thread's previous observed
+    /// replica. Same-fleet replicas have very similar event counts, so
+    /// sizing the next sink from the last one removes nearly all growth
+    /// reallocations from the observed hot path.
+    static SINK_HIGH_WATER: Cell<usize> = const { Cell::new(0) };
+}
+
+/// [`run_fleet_observed`] with an explicit worker-thread count. Event
+/// streams are private per replica and keyed only by seed, so every
+/// thread count produces bit-identical results and streams.
+pub fn run_fleet_observed_in(
+    threads: usize,
+    sys: &SystemParams,
+    strat: &Strategy,
+    opts: &SimOptions,
+    faults: &SimFaults,
+    replicas: u64,
+) -> Vec<(SimResult, Vec<Event>)> {
     assert!(replicas >= 1);
     let seeds: Vec<u64> =
         (0..replicas).map(|i| opts.seed.wrapping_add(i)).collect();
-    par_map(&seeds, |&seed| {
+    par_map_in(threads, &seeds, |&seed| {
         let opts = SimOptions { seed, ..*opts };
-        let bus = Bus::with_sink(VecSink::new());
+        let cap = SINK_HIGH_WATER.with(Cell::get);
+        let bus = Bus::with_sink(VecSink::with_capacity(cap));
         let result = run_engine_observed(sys, strat, &opts, faults, &bus);
-        (result, bus.drain())
+        let events = bus.drain();
+        SINK_HIGH_WATER.with(|c| c.set(c.get().max(events.len())));
+        (result, events)
     })
 }
 

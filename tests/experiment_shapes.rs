@@ -101,15 +101,21 @@ fn table2_reduced_run_preserves_orderings() {
     let codecs = study_codecs();
     let gz1 = &codecs[0];
     let mut factors = std::collections::HashMap::new();
-    let mut lzf_speed = 0.0;
-    let mut rz_speed = f64::MAX;
+    let mut lzf_speed = 0.0_f64;
+    let mut rz_speed = 0.0_f64;
     for app in all_mini_apps() {
         let img = app.generate(1 << 20, 33);
         let m = measure(gz1.as_ref(), &img);
         factors.insert(app.name().to_string(), m.factor);
         if app.name() == "CoMD" {
-            lzf_speed = measure(codecs[6].as_ref(), &img).compress_rate;
-            rz_speed = measure(codecs[4].as_ref(), &img).compress_rate;
+            // Best-of-3 so scheduler noise on a loaded runner can't
+            // flip the speed-ordering assertion below.
+            for _ in 0..3 {
+                lzf_speed = lzf_speed
+                    .max(measure(codecs[6].as_ref(), &img).compress_rate);
+                rz_speed = rz_speed
+                    .max(measure(codecs[4].as_ref(), &img).compress_rate);
+            }
         }
     }
     assert!(factors["HPCCG"] > factors["miniFE"]);

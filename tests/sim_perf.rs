@@ -1,0 +1,132 @@
+//! Determinism of the simulation plane under the work-stealing
+//! executor and the pooled engine: every thread count must produce
+//! bit-identical replica results, pooled event streams, and sweep
+//! outputs for a pinned seed — parallelism and buffer reuse are pure
+//! performance changes, never semantic ones.
+
+use ndp_checkpoint::cr_core::cache::{solve_cycle_cached, solve_cycle_many};
+use ndp_checkpoint::cr_core::par::par_map_in;
+use ndp_checkpoint::cr_core::{analytic, ratio_opt};
+use ndp_checkpoint::cr_sim::{
+    run_engine, run_engine_cold, run_fleet_observed_in, simulate_avg_in,
+    SimFaults, SimOptions,
+};
+use ndp_checkpoint::prelude::*;
+
+fn sys() -> SystemParams {
+    SystemParams::exascale_default()
+}
+
+fn strat() -> Strategy {
+    Strategy::local_io_ndp(0.85, Some(CompressionSpec::gzip1_ndp()))
+}
+
+#[test]
+fn simulate_avg_is_bit_identical_across_thread_counts() {
+    let opts = SimOptions::quick(42);
+    let one = simulate_avg_in(1, &sys(), &strat(), &opts, 12);
+    for threads in [2, 3, 8] {
+        let many = simulate_avg_in(threads, &sys(), &strat(), &opts, 12);
+        assert_eq!(
+            one.pooled, many.pooled,
+            "{threads}-thread pooled breakdown diverged"
+        );
+        assert_eq!(one.progress_rates, many.progress_rates);
+        for (i, (a, b)) in
+            one.replicas.iter().zip(&many.replicas).enumerate()
+        {
+            assert_eq!(a.breakdown, b.breakdown, "replica {i}");
+            assert_eq!(a.stats, b.stats, "replica {i}");
+        }
+    }
+}
+
+#[test]
+fn observed_fleet_streams_are_bit_identical_across_thread_counts() {
+    let opts = SimOptions::quick(7);
+    let faults = SimFaults {
+        p_drain_error: 0.05,
+        p_local_corrupt: 0.02,
+        ..SimFaults::default()
+    };
+    let one = run_fleet_observed_in(1, &sys(), &strat(), &opts, &faults, 6);
+    for threads in [2, 6] {
+        let many = run_fleet_observed_in(
+            threads,
+            &sys(),
+            &strat(),
+            &opts,
+            &faults,
+            6,
+        );
+        assert_eq!(one.len(), many.len());
+        for (i, ((ra, ea), (rb, eb))) in one.iter().zip(&many).enumerate() {
+            assert_eq!(ra.breakdown, rb.breakdown, "replica {i} result");
+            assert_eq!(ra.stats, rb.stats, "replica {i} stats");
+            assert_eq!(ea, eb, "replica {i} event stream");
+        }
+    }
+}
+
+#[test]
+fn pooled_engine_matches_cold_engine_across_workers() {
+    // Exercise the pool from executor worker threads (each worker
+    // builds its own pooled engine and reuses it across claimed
+    // replicas), then compare against cold per-replica engines.
+    let seeds: Vec<u64> = (0..24).collect();
+    let pooled = par_map_in(4, &seeds, |&s| {
+        run_engine(&sys(), &strat(), &SimOptions::quick(s))
+    });
+    for (s, r) in seeds.iter().zip(&pooled) {
+        let cold = run_engine_cold(&sys(), &strat(), &SimOptions::quick(*s));
+        assert_eq!(r.breakdown, cold.breakdown, "seed {s}");
+        assert_eq!(r.stats, cold.stats, "seed {s}");
+    }
+}
+
+#[test]
+fn cached_solver_is_bit_identical_to_direct_solver_in_sweeps() {
+    // The memoized path feeding the ratio sweep must agree exactly with
+    // the direct analytic solver for every grid point, hit or miss.
+    let s = sys();
+    let pairs: Vec<(SystemParams, Strategy)> = (1..=50)
+        .map(|ratio| (s, Strategy::local_io_host(ratio, 0.8, None)))
+        .collect();
+    // Twice: first pass misses, second pass hits the cache.
+    for pass in 0..2 {
+        let batch = solve_cycle_many(&pairs);
+        for ((sys_p, strat_p), got) in pairs.iter().zip(&batch) {
+            let want = analytic::solve_cycle(sys_p, strat_p);
+            assert_eq!(
+                got.cycle_time.to_bits(),
+                want.cycle_time.to_bits(),
+                "pass {pass}"
+            );
+            assert_eq!(
+                got.work_per_cycle.to_bits(),
+                want.work_per_cycle.to_bits(),
+                "pass {pass}"
+            );
+            let cached = solve_cycle_cached(sys_p, strat_p);
+            assert_eq!(
+                cached.progress_rate().to_bits(),
+                want.progress_rate().to_bits(),
+                "pass {pass}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ratio_sweep_unchanged_by_memoized_batch_path() {
+    // Figure 4's sweep now routes through solve_cycle_many; the result
+    // must equal what per-point direct solves produce.
+    let s = sys();
+    let sweep = ratio_opt::host_overhead_sweep(&s, 0.8, None, 60);
+    assert_eq!(sweep.len(), 60);
+    for (ratio, breakdown) in &sweep {
+        let strat = Strategy::local_io_host(*ratio, 0.8, None);
+        let direct = analytic::solve_cycle(&s, &strat).breakdown;
+        assert_eq!(breakdown, &direct, "ratio {ratio}");
+    }
+}
